@@ -1,0 +1,171 @@
+//! Criterion micro/macro benchmarks for the simulator's components:
+//! predictor and estimator lookups, cache and TLB accesses, program
+//! generation, architectural walking, and whole-core cycle throughput
+//! (baseline vs throttled vs gating), plus the cc3 power-model ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use st_bpred::{
+    Btb, ConfidenceEstimator, DirectionPredictor, Gshare, JrsEstimator, SaturatingEstimator,
+};
+use st_core::{experiments, Simulator};
+use st_isa::{Pc, Walker, WorkloadSpec};
+use st_mem::{MemoryConfig, MemoryHierarchy};
+use st_pipeline::{CoreBuilder, PipelineConfig};
+use st_power::{ClockGating, CycleActivity, PowerConfig, PowerModel, Unit};
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1));
+    let gshare = Gshare::with_table_bytes(8 * 1024);
+    g.bench_function("gshare_predict", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_ffff;
+            std::hint::black_box(gshare.predict(Pc(pc), pc ^ 0x5a5a))
+        });
+    });
+    let mut gshare_mut = Gshare::with_table_bytes(8 * 1024);
+    g.bench_function("gshare_update", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_ffff;
+            gshare_mut.update(Pc(pc), pc ^ 0x5a5a, pc & 8 == 0, false);
+        });
+    });
+    let mut btb = Btb::paper_default();
+    g.bench_function("btb_lookup_install", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xf_ffff;
+            if btb.lookup(Pc(pc)).is_none() {
+                btb.install(Pc(pc), Pc(pc + 64));
+            }
+        });
+    });
+    let sat = SaturatingEstimator::with_table_bytes(8 * 1024);
+    let pred = st_bpred::Prediction { taken: true, weak: false };
+    g.bench_function("saturating_estimate", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_ffff;
+            std::hint::black_box(sat.estimate(Pc(pc), pc, pred))
+        });
+    });
+    let mut jrs = JrsEstimator::with_table_bytes(8 * 1024);
+    g.bench_function("jrs_update", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_ffff;
+            jrs.update(Pc(pc), pc, pred, pc & 16 == 0);
+        });
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.throughput(Throughput::Elements(1));
+    let mut hier = MemoryHierarchy::new(MemoryConfig::paper_default());
+    g.bench_function("dcache_access_strided", |b| {
+        let mut addr = 0x1000_0000u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(8) & 0x1fff_ffff;
+            std::hint::black_box(hier.access_data(addr, false))
+        });
+    });
+    let mut hier2 = MemoryHierarchy::new(MemoryConfig::paper_default());
+    g.bench_function("icache_access_sequential", |b| {
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_ffff;
+            std::hint::black_box(hier2.access_instr(pc))
+        });
+    });
+    g.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa");
+    let spec = WorkloadSpec::builder("bench").seed(1).blocks(1024).build();
+    g.bench_function("program_generate_1k_blocks", |b| {
+        b.iter(|| std::hint::black_box(spec.generate()));
+    });
+    let program = spec.generate();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("walker_next_instr", |b| {
+        let mut w = Walker::new(&program);
+        b.iter(|| std::hint::black_box(w.next_instr(&program)));
+    });
+    g.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.sample_size(10);
+    let spec = st_workloads::gcc();
+    for (name, experiment) in [
+        ("baseline_10k_instr", experiments::baseline()),
+        ("c2_10k_instr", experiments::c2()),
+        ("gating_10k_instr", experiments::a7()),
+    ] {
+        let spec = spec.clone();
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Simulator::builder()
+                        .workload(spec.clone())
+                        .experiment(experiment.clone())
+                        .max_instructions(10_000)
+                        .build()
+                },
+                |sim| std::hint::black_box(sim.run()),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    // Raw cycle throughput of the core loop.
+    let program = st_workloads::parser().generate();
+    g.bench_function("core_step_1k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut core = CoreBuilder::new(program.clone())
+                    .config(PipelineConfig::paper_default())
+                    .build();
+                core.run(1_000); // warm
+                core
+            },
+            |mut core| {
+                for _ in 0..1_000 {
+                    core.step();
+                }
+                std::hint::black_box(core.cycle())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_power(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power");
+    g.throughput(Throughput::Elements(1));
+    let cc3 = PowerModel::new(PowerConfig::paper_default());
+    let cc0 = PowerModel::new(PowerConfig {
+        gating: ClockGating::None,
+        ..PowerConfig::paper_default()
+    });
+    let mut activity = CycleActivity::default();
+    activity.add(Unit::ICache, 1);
+    activity.add(Unit::Window, 9);
+    activity.add(Unit::Alu, 4);
+    g.bench_function("cycle_energy_cc3", |b| {
+        b.iter(|| std::hint::black_box(cc3.cycle_energy(&activity)));
+    });
+    g.bench_function("cycle_energy_cc0", |b| {
+        b.iter(|| std::hint::black_box(cc0.cycle_energy(&activity)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_memory, bench_isa, bench_core, bench_power);
+criterion_main!(benches);

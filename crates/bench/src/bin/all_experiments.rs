@@ -1,0 +1,30 @@
+//! Runs the complete reproduction: every table and figure in sequence.
+//! Individual binaries (`table1`, `fig3_fetch`, …) run the pieces.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "fig1_oracle",
+        "table2_workloads",
+        "conf_metrics",
+        "fig3_fetch",
+        "fig4_decode",
+        "fig5_select",
+        "fig6_depth",
+        "fig7_size",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory").to_path_buf();
+    for bin in bins {
+        println!("==================================================================");
+        println!("== {bin}");
+        println!("==================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("all experiments complete; CSVs in results/");
+}

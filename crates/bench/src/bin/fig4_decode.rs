@@ -1,0 +1,20 @@
+//! Regenerates **Figure 4**: the decode-throttling study (B1–B8 plus
+//! Pipeline Gating B9). In every experiment a VLC branch stalls fetch;
+//! the LC action varies fetch and decode bandwidth.
+
+use st_bench::{emit_figure, print_paper_comparison, run_panel, Harness};
+use st_core::experiments;
+use st_pipeline::PipelineConfig;
+
+fn main() {
+    let harness = Harness::from_env();
+    let config = PipelineConfig::paper_default();
+    println!(
+        "Figure 4 reproduction: decode throttling, {} instructions/workload\n",
+        harness.instructions
+    );
+    let baselines = harness.run_baselines(&config);
+    let rows = run_panel(&harness, &config, &baselines, &experiments::group_b());
+    emit_figure(&harness, "fig4", &rows);
+    print_paper_comparison(&rows);
+}

@@ -1,0 +1,157 @@
+//! Saturating counters, the workhorse state element of branch predictors
+//! and confidence estimators.
+
+/// An n-bit saturating counter.
+///
+/// The counter saturates at `0` and `max()`. For direction prediction the
+/// convention is "counts toward taken": values in the upper half predict
+/// taken. The *weak* states are the two adjacent to the midpoint — the
+/// states the paper's §4.3 fallback rule treats as low confidence
+/// ("weakly taken or weakly not-taken").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u8,
+    bits: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter with the given width, initialised to the weakly
+    /// not-taken state (`max/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7.
+    #[must_use]
+    pub fn new(bits: u8) -> SatCounter {
+        assert!((1..=7).contains(&bits), "counter width {bits} unsupported");
+        SatCounter { value: ((1u8 << bits) - 1) / 2, bits }
+    }
+
+    /// Creates a counter with an explicit initial value (clamped).
+    #[must_use]
+    pub fn with_value(bits: u8, value: u8) -> SatCounter {
+        let mut c = SatCounter::new(bits);
+        c.value = value.min(c.max());
+        c
+    }
+
+    /// Maximum representable value (`2^bits - 1`).
+    #[must_use]
+    pub fn max(&self) -> u8 {
+        (1u8 << self.bits) - 1
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Saturating increment by `n`.
+    pub fn inc(&mut self, n: u8) {
+        self.value = self.value.saturating_add(n).min(self.max());
+    }
+
+    /// Saturating decrement by `n`.
+    pub fn dec(&mut self, n: u8) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// Resets to zero (used by resetting/MDC counters).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Whether the upper half of the range is occupied (predict taken).
+    #[must_use]
+    pub fn taken(&self) -> bool {
+        self.value > self.max() / 2
+    }
+
+    /// Whether the counter sits in one of the two weak states adjacent to
+    /// the taken/not-taken boundary.
+    #[must_use]
+    pub fn is_weak(&self) -> bool {
+        let mid = self.max() / 2;
+        self.value == mid || self.value == mid + 1
+    }
+
+    /// Trains the counter toward the given outcome by 1.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.inc(1);
+        } else {
+            self.dec(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_lifecycle() {
+        let mut c = SatCounter::new(2);
+        assert_eq!(c.value(), 1); // weakly not-taken
+        assert!(!c.taken());
+        assert!(c.is_weak());
+        c.train(true); // 2: weakly taken
+        assert!(c.taken());
+        assert!(c.is_weak());
+        c.train(true); // 3: strongly taken
+        assert!(c.taken());
+        assert!(!c.is_weak());
+        c.train(true); // saturate at 3
+        assert_eq!(c.value(), 3);
+        c.train(false);
+        c.train(false);
+        c.train(false);
+        c.train(false); // saturate at 0
+        assert_eq!(c.value(), 0);
+        assert!(!c.taken());
+        assert!(!c.is_weak());
+    }
+
+    #[test]
+    fn three_bit_counter_ranges() {
+        let c = SatCounter::new(3);
+        assert_eq!(c.max(), 7);
+        assert_eq!(c.value(), 3); // midpoint
+        let mut c = SatCounter::with_value(3, 9);
+        assert_eq!(c.value(), 7, "clamped to max");
+        c.inc(3);
+        assert_eq!(c.value(), 7);
+        c.dec(10);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn reset_goes_to_zero() {
+        let mut c = SatCounter::with_value(4, 13);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn weak_states_of_three_bit_counter() {
+        // For 3 bits, mid = 3, weak = {3, 4}.
+        for v in 0..=7u8 {
+            let c = SatCounter::with_value(3, v);
+            assert_eq!(c.is_weak(), v == 3 || v == 4, "value {v}");
+            assert_eq!(c.taken(), v >= 4, "value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn zero_width_rejected() {
+        let _ = SatCounter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn too_wide_rejected() {
+        let _ = SatCounter::new(8);
+    }
+}

@@ -1,0 +1,121 @@
+//! Global branch history register.
+//!
+//! The paper's gshare history register is *speculatively updated*: the
+//! predicted outcome is shifted in at prediction time, and the register is
+//! repaired from a checkpoint when a misprediction squashes. `GlobalHistory`
+//! is `Copy`, so a checkpoint is simply a saved value.
+
+/// A global history shift register of up to 64 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHistory {
+    bits: u64,
+    len: u8,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history of `len` bits (0 ≤ len ≤ 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    #[must_use]
+    pub fn new(len: u8) -> GlobalHistory {
+        assert!(len <= 64, "history length {len} exceeds 64 bits");
+        GlobalHistory { bits: 0, len }
+    }
+
+    /// History length in bits.
+    #[must_use]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether the register has zero length (degenerate but allowed:
+    /// a zero-length history turns gshare into bimodal).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current history value, masked to `len` bits.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.bits & self.mask()
+    }
+
+    /// Shifts in an outcome (speculative or architectural).
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | u64::from(taken)) & self.mask();
+    }
+
+    /// Restores the register from a checkpoint taken with plain copy.
+    pub fn restore(&mut self, checkpoint: GlobalHistory) {
+        debug_assert_eq!(self.len, checkpoint.len, "mismatched history lengths");
+        *self = checkpoint;
+    }
+
+    fn mask(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_lsb_first() {
+        let mut h = GlobalHistory::new(4);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.value(), 0b101);
+        h.push(true);
+        assert_eq!(h.value(), 0b1011);
+        h.push(false);
+        assert_eq!(h.value(), 0b0110, "oldest bit fell off");
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut h = GlobalHistory::new(8);
+        h.push(true);
+        h.push(true);
+        let cp = h;
+        h.push(false);
+        h.push(true);
+        assert_ne!(h.value(), cp.value());
+        h.restore(cp);
+        assert_eq!(h.value(), 0b11);
+    }
+
+    #[test]
+    fn zero_length_history_is_always_zero() {
+        let mut h = GlobalHistory::new(0);
+        h.push(true);
+        h.push(true);
+        assert_eq!(h.value(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn full_width_history() {
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..64 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64")]
+    fn oversized_history_rejected() {
+        let _ = GlobalHistory::new(65);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pipeline Gating baseline (Manne, Klauser & Grunwald, ISCA 1998).
+//!
+//! The comparison point the paper evaluates against: count the unresolved
+//! low-confidence branches; while the count reaches the *gating threshold*,
+//! stall fetch entirely. The paper's configuration (§2, §5.2) is an 8 KB
+//! JRS estimator with MDC threshold 12 and gating threshold 2.
+
+use st_pipeline::{BranchEvent, SeqNum, SpeculationController};
+
+/// Pipeline Gating: all-or-nothing fetch gating on the number of
+/// unresolved low-confidence branches.
+#[derive(Debug)]
+pub struct PipelineGatingController {
+    /// Gate fetch while `low_confidence_outstanding > gating_threshold`
+    /// ("if M exceeds a threshold, the fetch stage is stalled").
+    gating_threshold: u32,
+    /// Unresolved branches: `(seq, labelled_low_confidence)`.
+    outstanding: Vec<(SeqNum, bool)>,
+    low_outstanding: u32,
+}
+
+impl PipelineGatingController {
+    /// Creates a controller with the given gating threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gating_threshold` is zero (the gate would never open).
+    #[must_use]
+    pub fn new(gating_threshold: u32) -> PipelineGatingController {
+        PipelineGatingController {
+            gating_threshold,
+            outstanding: Vec::new(),
+            low_outstanding: 0,
+        }
+    }
+
+    /// The paper's configuration: gating threshold 2.
+    #[must_use]
+    pub fn paper_default() -> PipelineGatingController {
+        PipelineGatingController::new(2)
+    }
+
+    /// Unresolved low-confidence branch count (for tests/diagnostics).
+    #[must_use]
+    pub fn low_outstanding(&self) -> u32 {
+        self.low_outstanding
+    }
+
+    fn forget(&mut self, pred: impl Fn(SeqNum) -> bool) {
+        let mut removed_low = 0;
+        self.outstanding.retain(|(s, low)| {
+            if pred(*s) {
+                true
+            } else {
+                removed_low += u32::from(*low);
+                false
+            }
+        });
+        self.low_outstanding -= removed_low;
+    }
+}
+
+impl SpeculationController for PipelineGatingController {
+    fn fetch_allowance(&mut self, _cycle: u64, width: u32) -> u32 {
+        if self.low_outstanding > self.gating_threshold {
+            0
+        } else {
+            width
+        }
+    }
+
+    fn on_branch_predicted(&mut self, event: &BranchEvent) {
+        let low = event.confidence.is_low();
+        self.outstanding.push((event.seq, low));
+        self.low_outstanding += u32::from(low);
+    }
+
+    fn on_branch_resolved(&mut self, seq: SeqNum, _mispredicted: bool) {
+        self.forget(|s| s != seq);
+    }
+
+    fn on_squash(&mut self, seq: SeqNum) {
+        self.forget(|s| s <= seq);
+    }
+
+    fn name(&self) -> &str {
+        "pipeline-gating"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_bpred::Confidence;
+    use st_isa::Pc;
+
+    fn event(seq: u64, confidence: Confidence) -> BranchEvent {
+        BranchEvent { seq: SeqNum(seq), pc: Pc(0x40_0000), confidence, wrong_path: false }
+    }
+
+    #[test]
+    fn gate_opens_below_threshold() {
+        let mut g = PipelineGatingController::paper_default();
+        assert_eq!(g.fetch_allowance(0, 8), 8);
+        g.on_branch_predicted(&event(1, Confidence::Low));
+        g.on_branch_predicted(&event(2, Confidence::Low));
+        assert_eq!(g.fetch_allowance(1, 8), 8, "at the threshold fetch still runs");
+        g.on_branch_predicted(&event(3, Confidence::Low));
+        assert_eq!(g.fetch_allowance(2, 8), 0, "exceeding the threshold gates");
+        assert_eq!(g.low_outstanding(), 3);
+    }
+
+    #[test]
+    fn high_confidence_branches_do_not_gate() {
+        let mut g = PipelineGatingController::paper_default();
+        for i in 0..10 {
+            g.on_branch_predicted(&event(i, Confidence::High));
+        }
+        assert_eq!(g.fetch_allowance(0, 8), 8);
+        assert_eq!(g.low_outstanding(), 0);
+    }
+
+    #[test]
+    fn resolution_reopens_gate() {
+        let mut g = PipelineGatingController::new(1);
+        g.on_branch_predicted(&event(1, Confidence::Low));
+        g.on_branch_predicted(&event(2, Confidence::VeryLow));
+        assert_eq!(g.fetch_allowance(0, 8), 0);
+        g.on_branch_resolved(SeqNum(1), false);
+        assert_eq!(g.fetch_allowance(1, 8), 8);
+        assert_eq!(g.low_outstanding(), 1);
+    }
+
+    #[test]
+    fn squash_clears_younger_branches() {
+        let mut g = PipelineGatingController::paper_default();
+        g.on_branch_predicted(&event(1, Confidence::Low));
+        g.on_branch_predicted(&event(5, Confidence::Low));
+        g.on_branch_predicted(&event(8, Confidence::Low));
+        g.on_squash(SeqNum(3));
+        assert_eq!(g.low_outstanding(), 1);
+        assert_eq!(g.fetch_allowance(0, 8), 8);
+    }
+
+    #[test]
+    fn zero_threshold_gates_on_any_low_branch() {
+        let mut g = PipelineGatingController::new(0);
+        assert_eq!(g.fetch_allowance(0, 8), 8);
+        g.on_branch_predicted(&event(1, Confidence::Low));
+        assert_eq!(g.fetch_allowance(0, 8), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Oracle speculation control (§3's potential study, Figure 1).
+
+use st_pipeline::{OracleMode, SpeculationController};
+
+/// A controller that exposes one of the §3 oracle modes to the pipeline:
+///
+/// * **oracle fetch** — wrong-path instructions are never fetched;
+/// * **oracle decode** — fetched but never decoded;
+/// * **oracle select** — fetched and decoded but never selected for issue.
+///
+/// These measure the per-stage upper bound of the energy wasted by
+/// mis-speculated instructions.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleController {
+    mode: OracleMode,
+}
+
+impl OracleController {
+    /// Creates a controller with the given oracle mode.
+    #[must_use]
+    pub fn new(mode: OracleMode) -> OracleController {
+        OracleController { mode }
+    }
+
+    /// Oracle fetch.
+    #[must_use]
+    pub fn fetch() -> OracleController {
+        OracleController::new(OracleMode::Fetch)
+    }
+
+    /// Oracle decode.
+    #[must_use]
+    pub fn decode() -> OracleController {
+        OracleController::new(OracleMode::Decode)
+    }
+
+    /// Oracle select.
+    #[must_use]
+    pub fn select() -> OracleController {
+        OracleController::new(OracleMode::Select)
+    }
+}
+
+impl SpeculationController for OracleController {
+    fn oracle(&self) -> OracleMode {
+        self.mode
+    }
+
+    fn name(&self) -> &str {
+        match self.mode {
+            OracleMode::None => "oracle-none",
+            OracleMode::Fetch => "oracle-fetch",
+            OracleMode::Decode => "oracle-decode",
+            OracleMode::Select => "oracle-select",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_modes() {
+        assert_eq!(OracleController::fetch().oracle(), OracleMode::Fetch);
+        assert_eq!(OracleController::decode().oracle(), OracleMode::Decode);
+        assert_eq!(OracleController::select().oracle(), OracleMode::Select);
+        assert_eq!(OracleController::fetch().name(), "oracle-fetch");
+        assert_eq!(OracleController::decode().name(), "oracle-decode");
+        assert_eq!(OracleController::select().name(), "oracle-select");
+    }
+
+    #[test]
+    fn oracle_controller_never_gates_bandwidth() {
+        let mut c = OracleController::fetch();
+        assert_eq!(c.fetch_allowance(3, 8), 8);
+        assert_eq!(c.decode_allowance(3, 8), 8);
+        assert_eq!(c.no_select_trigger(), None);
+    }
+}

@@ -1,0 +1,730 @@
+//! Deterministic synthetic-program generation.
+//!
+//! A [`WorkloadSpec`] captures, in a dozen statistical knobs, everything
+//! about a SPECint-style integer workload that matters to this paper's
+//! experiments: control-flow predictability (branch-behaviour mix and bias
+//! spread), basic-block geometry (branch density), data-dependence density
+//! (ILP), memory locality (D-cache miss rate) and static code size (I-cache
+//! behaviour). [`ProgramGenerator`] expands a spec into a concrete
+//! [`Program`] using a seeded RNG, so the same spec always yields the same
+//! program.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::behavior::{BranchBehavior, BranchModel};
+use crate::memstream::MemStreamSpec;
+use crate::op::{Instr, OpClass, Terminator};
+use crate::program::{BasicBlock, Program, CODE_BASE};
+use crate::types::{BlockId, BranchId, Pc, Reg, StreamId};
+
+/// Base address of the data segment used by generated memory streams.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Base address of the shared random-access "heap" region.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+
+/// Relative weights of the branch-behaviour categories in a workload.
+///
+/// Weights need not sum to 1; they are normalised during generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchMix {
+    /// Loop back-edges (highly predictable).
+    pub loops: f64,
+    /// Periodic patterns (predictable with enough history).
+    pub patterns: f64,
+    /// Biased Bernoulli branches (the hard ones).
+    pub biased: f64,
+    /// Sticky Markov branches (moderately predictable).
+    pub markov: f64,
+    /// Strictly alternating branches.
+    pub alternating: f64,
+}
+
+impl BranchMix {
+    /// A mix typical of integer codes: mostly loops and patterns with a
+    /// minority of hard data-dependent branches.
+    #[must_use]
+    pub fn typical() -> BranchMix {
+        BranchMix { loops: 0.35, patterns: 0.25, biased: 0.25, markov: 0.10, alternating: 0.05 }
+    }
+
+    fn normalized(&self) -> [f64; 5] {
+        let w = [self.loops, self.patterns, self.biased, self.markov, self.alternating];
+        let sum: f64 = w.iter().sum();
+        if sum <= 0.0 {
+            [0.2; 5]
+        } else {
+            [w[0] / sum, w[1] / sum, w[2] / sum, w[3] / sum, w[4] / sum]
+        }
+    }
+}
+
+impl Default for BranchMix {
+    fn default() -> Self {
+        BranchMix::typical()
+    }
+}
+
+/// Statistical description of a synthetic workload.
+///
+/// Build one with [`WorkloadSpec::builder`]. All fields are public for
+/// inspection; construction goes through the builder so defaults stay
+/// coherent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (used in reports).
+    pub name: String,
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Number of basic blocks (static code size knob).
+    pub n_blocks: u32,
+    /// Mean instructions per block, including the terminator.
+    pub mean_block_len: f64,
+    /// Fraction of blocks ending in a conditional branch.
+    pub branch_frac: f64,
+    /// Fraction of blocks ending in an unconditional jump.
+    pub jump_frac: f64,
+    /// Branch-behaviour category weights.
+    pub mix: BranchMix,
+    /// Bias of `Biased` branches: `p_taken` is drawn uniformly from
+    /// `0.5 ± hard_bias_spread`. Smaller spread ⇒ harder branches.
+    pub hard_bias_spread: f64,
+    /// Loop trip counts are drawn uniformly from this inclusive range.
+    pub loop_trip: (u32, u32),
+    /// Pattern lengths are drawn uniformly from this inclusive range.
+    pub pattern_len: (u8, u8),
+    /// Markov stay-probability range.
+    pub markov_stay: (f64, f64),
+    /// Fraction of non-terminator instructions that are loads/stores.
+    pub mem_frac: f64,
+    /// Fraction of memory instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of ALU-class instructions that are integer multiplies.
+    pub mult_frac: f64,
+    /// Fraction of ALU-class instructions that are floating point.
+    pub fp_frac: f64,
+    /// Probability that a source register reads a recently-written register
+    /// (data-dependence density; higher ⇒ less ILP).
+    pub dep_near: f64,
+    /// Per-access probability that a memory stream jumps to a random heap
+    /// location (D-cache locality knob).
+    pub locality_jump: f64,
+    /// Sequential footprint in bytes of each memory stream.
+    pub stream_footprint: u64,
+    /// Size in bytes of the shared random heap region.
+    pub region_size: u64,
+    /// Maximum distance (in blocks) of a branch taken-target from its
+    /// block; bounds I-cache dispersion.
+    pub target_window: u32,
+    /// Trip-count range of kernel outer loops (how long execution stays in
+    /// one hot kernel before moving on).
+    pub outer_trip: (u32, u32),
+    /// Probability that a conditional branch tests the result of an
+    /// immediately preceding load (lengthening its resolution latency, as
+    /// compare-on-load branches do in real codes).
+    pub branch_on_load: f64,
+}
+
+impl WorkloadSpec {
+    /// Starts building a spec with the given name and sensible defaults.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder {
+            spec: WorkloadSpec {
+                name: name.into(),
+                seed: 0xC0FFEE,
+                n_blocks: 2048,
+                mean_block_len: 7.0,
+                branch_frac: 0.72,
+                jump_frac: 0.08,
+                mix: BranchMix::typical(),
+                hard_bias_spread: 0.2,
+                loop_trip: (3, 24),
+                pattern_len: (2, 8),
+                markov_stay: (0.75, 0.95),
+                mem_frac: 0.30,
+                store_frac: 0.35,
+                mult_frac: 0.04,
+                fp_frac: 0.02,
+                dep_near: 0.55,
+                locality_jump: 0.04,
+                stream_footprint: 16 * 1024,
+                region_size: 8 << 20,
+                target_window: 96,
+                outer_trip: (8, 48),
+                branch_on_load: 0.35,
+            },
+        }
+    }
+
+    /// Generates the program for this spec (convenience for
+    /// [`ProgramGenerator::generate`]).
+    #[must_use]
+    pub fn generate(&self) -> Program {
+        ProgramGenerator::new(self).generate()
+    }
+}
+
+/// Builder for [`WorkloadSpec`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.spec.$name = v;
+            self
+        }
+    };
+}
+
+impl WorkloadSpecBuilder {
+    setter!(
+        /// Sets the master seed.
+        seed: u64
+    );
+    setter!(
+        /// Sets the mean block length.
+        mean_block_len: f64
+    );
+    setter!(
+        /// Sets the conditional-branch block fraction.
+        branch_frac: f64
+    );
+    setter!(
+        /// Sets the unconditional-jump block fraction.
+        jump_frac: f64
+    );
+    setter!(
+        /// Sets the branch-behaviour mix.
+        mix: BranchMix
+    );
+    setter!(
+        /// Sets the biased-branch bias spread.
+        hard_bias_spread: f64
+    );
+    setter!(
+        /// Sets the loop trip-count range.
+        loop_trip: (u32, u32)
+    );
+    setter!(
+        /// Sets the pattern-length range.
+        pattern_len: (u8, u8)
+    );
+    setter!(
+        /// Sets the Markov stay-probability range.
+        markov_stay: (f64, f64)
+    );
+    setter!(
+        /// Sets the memory-instruction fraction.
+        mem_frac: f64
+    );
+    setter!(
+        /// Sets the store fraction of memory instructions.
+        store_frac: f64
+    );
+    setter!(
+        /// Sets the integer-multiply fraction.
+        mult_frac: f64
+    );
+    setter!(
+        /// Sets the floating-point fraction.
+        fp_frac: f64
+    );
+    setter!(
+        /// Sets the data-dependence density.
+        dep_near: f64
+    );
+    setter!(
+        /// Sets the memory-stream random-jump probability.
+        locality_jump: f64
+    );
+    setter!(
+        /// Sets the per-stream sequential footprint (bytes).
+        stream_footprint: u64
+    );
+    setter!(
+        /// Sets the shared heap region size (bytes).
+        region_size: u64
+    );
+    setter!(
+        /// Sets the branch target window (blocks).
+        target_window: u32
+    );
+    setter!(
+        /// Sets the kernel outer-loop trip range.
+        outer_trip: (u32, u32)
+    );
+    setter!(
+        /// Sets the probability that a branch tests a just-loaded value.
+        branch_on_load: f64
+    );
+
+    /// Sets the number of basic blocks.
+    #[must_use]
+    pub fn blocks(mut self, n: u32) -> Self {
+        self.spec.n_blocks = n;
+        self
+    }
+
+    /// Finalises the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are outside `[0, 1]` or the block count is zero —
+    /// these are programming errors in experiment definitions, not runtime
+    /// conditions.
+    #[must_use]
+    pub fn build(self) -> WorkloadSpec {
+        let s = &self.spec;
+        assert!(s.n_blocks > 0, "workload must have at least one block");
+        assert!(s.mean_block_len >= 1.0, "mean block length must be >= 1");
+        for (name, v) in [
+            ("branch_frac", s.branch_frac),
+            ("jump_frac", s.jump_frac),
+            ("mem_frac", s.mem_frac),
+            ("store_frac", s.store_frac),
+            ("mult_frac", s.mult_frac),
+            ("fp_frac", s.fp_frac),
+            ("dep_near", s.dep_near),
+            ("locality_jump", s.locality_jump),
+            ("hard_bias_spread", s.hard_bias_spread),
+            ("branch_on_load", s.branch_on_load),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0,1]");
+        }
+        assert!(
+            s.branch_frac + s.jump_frac <= 1.0,
+            "branch_frac + jump_frac must not exceed 1"
+        );
+        self.spec
+    }
+}
+
+/// Expands a [`WorkloadSpec`] into a concrete [`Program`].
+#[derive(Debug)]
+pub struct ProgramGenerator<'a> {
+    spec: &'a WorkloadSpec,
+}
+
+impl<'a> ProgramGenerator<'a> {
+    /// Creates a generator for the given spec.
+    #[must_use]
+    pub fn new(spec: &'a WorkloadSpec) -> ProgramGenerator<'a> {
+        ProgramGenerator { spec }
+    }
+
+    /// Generates the program. Deterministic in `spec.seed`.
+    ///
+    /// ## Program shape
+    ///
+    /// The program is a chain of **kernels** — small hot loop nests of 3–7
+    /// basic blocks — mirroring how integer codes concentrate their dynamic
+    /// instruction stream in compact loops (the 90/10 rule). Each kernel:
+    ///
+    /// * has an *outer loop* back-edge over the whole kernel with a trip
+    ///   count from `outer_trip` (execution stays inside the kernel for
+    ///   that many iterations before falling through to the next kernel);
+    /// * may contain an *inner loop* over its last body block(s);
+    /// * gives each body block, with probability `branch_frac`, a forward
+    ///   *hammock* branch (if/else shape) whose behaviour is drawn from the
+    ///   non-loop part of the [`BranchMix`];
+    /// * is occasionally followed by an unconditional jump to a random
+    ///   kernel (`jump_frac`), dispersing I-cache locality.
+    ///
+    /// Keeping the hammocks forward and the back-edges structural makes
+    /// block execution frequencies stable under parameter changes, and the
+    /// small kernel bodies keep global branch history coherent enough for
+    /// a gshare predictor to train — both properties the workload
+    /// calibration in `st-workloads` depends on.
+    #[must_use]
+    pub fn generate(&self) -> Program {
+        let s = self.spec;
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let n = s.n_blocks as usize;
+
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(n);
+        let mut branches: Vec<BranchModel> = Vec::new();
+        let mut streams: Vec<MemStreamSpec> = Vec::new();
+        // Ring of recently written registers for dependence generation.
+        let mut recent: Vec<Reg> = Vec::with_capacity(8);
+        let mut pc = Pc(CODE_BASE);
+        let mut kernel_starts: Vec<u32> = Vec::new();
+
+        let push_block =
+            |blocks: &mut Vec<BasicBlock>, pc: &mut Pc, instrs: Vec<Instr>, term: Terminator| {
+                let start_pc = *pc;
+                *pc = pc.offset(instrs.len() as u64);
+                blocks.push(BasicBlock { start_pc, instrs, terminator: term });
+            };
+
+        // Probability a body slot hosts a self-loop rather than a hammock
+        // or plain block, taken from the loop weight of the mix.
+        let w = s.mix.normalized();
+        let p_inner = w[0].clamp(0.0, 0.9);
+
+        while blocks.len() + 14 < n {
+            let kernel_start = blocks.len() as u32;
+            kernel_starts.push(kernel_start);
+            let slots = rng.gen_range(2..=5usize);
+
+            for _ in 0..slots {
+                let i = blocks.len();
+                let len = self.block_len(&mut rng);
+                let mut instrs: Vec<Instr> = (0..len - 1)
+                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                    .collect();
+                let roll: f64 = rng.gen();
+                if roll < p_inner {
+                    // Self-loop slot: the block iterates on itself `trip`
+                    // times. Self-loops keep loop bodies free of other
+                    // branches, so their history signature is clean and
+                    // block execution frequencies stay stable.
+                    let trip =
+                        rng.gen_range(s.loop_trip.0..=s.loop_trip.1.max(s.loop_trip.0)).max(1);
+                    let id = BranchId(branches.len() as u32);
+                    branches.push(BranchModel::new(BranchBehavior::Loop { trip }, rng.gen()));
+                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                    let term = Terminator::Branch {
+                        branch: id,
+                        taken: BlockId(i as u32),
+                        not_taken: BlockId((i + 1) as u32),
+                    };
+                    push_block(&mut blocks, &mut pc, instrs, term);
+                } else if roll < p_inner + (1.0 - p_inner) * s.branch_frac {
+                    // Hammock slot: an if/else diamond. The taken edge
+                    // skips only the plain "else" block, so a skip never
+                    // shadows another branch (occurrence shares stay
+                    // stable) while fetch still truly diverges on a
+                    // misprediction.
+                    let id = BranchId(branches.len() as u32);
+                    branches.push(BranchModel::new(self.gen_hammock(&mut rng), rng.gen()));
+                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                    let term = Terminator::Branch {
+                        branch: id,
+                        taken: BlockId((i + 2) as u32),
+                        not_taken: BlockId((i + 1) as u32),
+                    };
+                    push_block(&mut blocks, &mut pc, instrs, term);
+                    // The else block.
+                    let else_len = self.block_len(&mut rng);
+                    let else_instrs: Vec<Instr> = (0..else_len)
+                        .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                        .collect();
+                    let term = Terminator::Fallthrough(BlockId((i + 2) as u32));
+                    push_block(&mut blocks, &mut pc, else_instrs, term);
+                } else {
+                    // Plain straight-line slot.
+                    instrs.push(self.gen_body_instr(&mut rng, &mut recent, &mut streams));
+                    push_block(
+                        &mut blocks,
+                        &mut pc,
+                        instrs,
+                        Terminator::Fallthrough(BlockId((i + 1) as u32)),
+                    );
+                }
+            }
+
+            // Closing block: the kernel's outer loop.
+            {
+                let i = blocks.len();
+                let len = self.block_len(&mut rng);
+                let mut instrs: Vec<Instr> = (0..len - 1)
+                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                    .collect();
+                let trip = rng
+                    .gen_range(s.outer_trip.0.max(1)..=s.outer_trip.1.max(s.outer_trip.0).max(1));
+                let id = BranchId(branches.len() as u32);
+                branches.push(BranchModel::new(BranchBehavior::Loop { trip }, rng.gen()));
+                instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                let term = Terminator::Branch {
+                    branch: id,
+                    taken: BlockId(kernel_start),
+                    not_taken: BlockId((i + 1) as u32),
+                };
+                push_block(&mut blocks, &mut pc, instrs, term);
+            }
+
+            // Occasional cross-kernel jump (long-range control flow that
+            // disperses the I-cache footprint).
+            if rng.gen_bool(s.jump_frac.clamp(0.0, 1.0)) {
+                let i = blocks.len();
+                let instrs = vec![
+                    self.gen_body_instr(&mut rng, &mut recent, &mut streams),
+                    Instr::jump(),
+                ];
+                let term = Terminator::Jump(BlockId((i + 1) as u32));
+                push_block(&mut blocks, &mut pc, instrs, term);
+            }
+        }
+
+        // Pad with straight-line blocks, then close the code segment with
+        // a jump back to the entry so sequential fetch never runs off the
+        // end of the image.
+        while blocks.len() < n - 1 {
+            let i = blocks.len();
+            let instrs = vec![
+                self.gen_body_instr(&mut rng, &mut recent, &mut streams),
+                self.gen_body_instr(&mut rng, &mut recent, &mut streams),
+            ];
+            push_block(&mut blocks, &mut pc, instrs, Terminator::Fallthrough(BlockId((i + 1) as u32)));
+        }
+        let instrs =
+            vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
+        push_block(&mut blocks, &mut pc, instrs, Terminator::Jump(BlockId(0)));
+
+        Program::new(s.name.clone(), blocks, branches, streams, BlockId(0))
+            .expect("generator produces valid programs")
+    }
+
+    /// Body-block length (instructions including the terminator slot).
+    fn block_len(&self, rng: &mut StdRng) -> usize {
+        let max = (2.0 * self.spec.mean_block_len - 2.0).max(2.0) as usize;
+        rng.gen_range(2..=max.max(2))
+    }
+
+    /// Behaviour of a hammock (non-loop) branch, drawn from the non-loop
+    /// portion of the mix.
+    fn gen_hammock(&self, rng: &mut StdRng) -> BranchBehavior {
+        let s = self.spec;
+        let w = s.mix.normalized();
+        let total = (w[1] + w[2] + w[3] + w[4]).max(1e-9);
+        let r: f64 = rng.gen::<f64>() * total;
+        if r < w[1] {
+            let len = rng.gen_range(s.pattern_len.0..=s.pattern_len.1.max(s.pattern_len.0)).max(1);
+            BranchBehavior::Pattern { bits: rng.gen::<u64>(), len }
+        } else if r < w[1] + w[2] {
+            let spread = s.hard_bias_spread;
+            BranchBehavior::Biased { p_taken: 0.5 + rng.gen_range(-spread..=spread) }
+        } else if r < w[1] + w[2] + w[3] {
+            let (lo, hi) = s.markov_stay;
+            BranchBehavior::Markov {
+                p_tt: rng.gen_range(lo..=hi.max(lo)),
+                p_nn: rng.gen_range(lo..=hi.max(lo)),
+            }
+        } else {
+            BranchBehavior::Alternating
+        }
+    }
+
+    /// Emits a conditional-branch instruction, optionally preceded by the
+    /// load producing its test value (`branch_on_load`). Returns the
+    /// instructions to append to the block.
+    fn gen_branch_seq(
+        &self,
+        rng: &mut StdRng,
+        recent: &mut Vec<Reg>,
+        streams: &mut Vec<MemStreamSpec>,
+    ) -> Vec<Instr> {
+        if rng.gen_bool(self.spec.branch_on_load.clamp(0.0, 1.0)) {
+            let dest = Reg(rng.gen_range(0..Reg::COUNT as u8));
+            let base = *recent.last().unwrap_or(&Reg(1));
+            let sid = StreamId(streams.len() as u32);
+            streams.push(self.gen_stream(rng, sid));
+            vec![Instr::load(dest, base, sid), Instr::branch(dest, None)]
+        } else {
+            let src = *recent.last().unwrap_or(&Reg(1));
+            vec![Instr::branch(src, None)]
+        }
+    }
+
+    fn gen_body_instr(
+        &self,
+        rng: &mut StdRng,
+        recent: &mut Vec<Reg>,
+        streams: &mut Vec<MemStreamSpec>,
+    ) -> Instr {
+        let s = self.spec;
+        let pick_src = |rng: &mut StdRng, recent: &[Reg]| -> Reg {
+            if !recent.is_empty() && rng.gen_bool(s.dep_near) {
+                recent[rng.gen_range(0..recent.len())]
+            } else {
+                Reg(rng.gen_range(0..Reg::COUNT as u8))
+            }
+        };
+        let push_recent = |recent: &mut Vec<Reg>, r: Reg| {
+            if recent.len() == 8 {
+                recent.remove(0);
+            }
+            recent.push(r);
+        };
+
+        if rng.gen_bool(s.mem_frac) {
+            let sid = StreamId(streams.len() as u32);
+            streams.push(self.gen_stream(rng, sid));
+            if rng.gen_bool(s.store_frac) {
+                let base = pick_src(rng, recent);
+                let val = pick_src(rng, recent);
+                Instr::store(base, val, sid)
+            } else {
+                let dest = Reg(rng.gen_range(0..Reg::COUNT as u8));
+                let base = pick_src(rng, recent);
+                push_recent(recent, dest);
+                Instr::load(dest, base, sid)
+            }
+        } else {
+            let dest = Reg(rng.gen_range(0..Reg::COUNT as u8));
+            let s1 = pick_src(rng, recent);
+            let s2 = pick_src(rng, recent);
+            push_recent(recent, dest);
+            let r: f64 = rng.gen();
+            let op = if r < s.fp_frac {
+                if rng.gen_bool(0.25) {
+                    OpClass::FpMult
+                } else {
+                    OpClass::FpAlu
+                }
+            } else if r < s.fp_frac + s.mult_frac {
+                OpClass::IntMult
+            } else {
+                OpClass::IntAlu
+            };
+            Instr { op, dest: Some(dest), src1: Some(s1), src2: Some(s2), stream: None }
+        }
+    }
+
+    fn gen_stream(&self, rng: &mut StdRng, sid: StreamId) -> MemStreamSpec {
+        let s = self.spec;
+        let fp = s.stream_footprint.max(64);
+        MemStreamSpec {
+            base: DATA_BASE + u64::from(sid.0) * fp,
+            stride: if rng.gen_bool(0.7) { 8 } else { 8 * rng.gen_range(2..=8) },
+            footprint: fp,
+            p_jump: s.locality_jump,
+            region_base: HEAP_BASE,
+            region_size: s.region_size.max(4096),
+            seed: rng.gen(),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Terminator;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::builder("gen-test").seed(7).blocks(256).build()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = small_spec();
+        let p1 = s.generate();
+        let p2 = s.generate();
+        assert_eq!(p1.instr_count(), p2.instr_count());
+        assert_eq!(p1.branch_count(), p2.branch_count());
+        for (a, b) in p1.blocks().iter().zip(p2.blocks()) {
+            assert_eq!(a.instrs, b.instrs);
+            assert_eq!(a.terminator, b.terminator);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = WorkloadSpec::builder("a").seed(1).blocks(128).build().generate();
+        let p2 = WorkloadSpec::builder("a").seed(2).blocks(128).build().generate();
+        let same = p1
+            .blocks()
+            .iter()
+            .zip(p2.blocks())
+            .all(|(a, b)| a.instrs == b.instrs && a.terminator == b.terminator);
+        assert!(!same);
+    }
+
+    #[test]
+    fn block_count_and_contiguous_layout() {
+        let p = small_spec().generate();
+        assert_eq!(p.blocks().len(), 256);
+        let mut expect = Pc(CODE_BASE);
+        for b in p.blocks() {
+            assert_eq!(b.start_pc, expect);
+            expect = b.end_pc();
+        }
+    }
+
+    #[test]
+    fn branch_fraction_steers_branch_density() {
+        let sparse =
+            WorkloadSpec::builder("bf").seed(3).blocks(2000).branch_frac(0.2).build().generate();
+        let dense =
+            WorkloadSpec::builder("bf").seed(3).blocks(2000).branch_frac(0.9).build().generate();
+        let count = |p: &Program| {
+            p.blocks()
+                .iter()
+                .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
+                .count() as f64
+                / p.blocks().len() as f64
+        };
+        let (lo, hi) = (count(&sparse), count(&dense));
+        assert!(hi > lo + 0.08, "branch_frac must steer density: {lo} vs {hi}");
+        // Every kernel keeps its structural outer loop, so even the sparse
+        // program stays branchy enough to exercise the predictor.
+        assert!(lo > 0.1 && hi < 0.98);
+    }
+
+    #[test]
+    fn kernels_form_loop_nests() {
+        let p = WorkloadSpec::builder("nest").seed(9).blocks(512).build().generate();
+        let mut back_edges = 0;
+        for (i, b) in p.blocks().iter().enumerate() {
+            if let Terminator::Branch { branch, taken, .. } = b.terminator {
+                if taken.index() <= i {
+                    back_edges += 1;
+                    assert!(
+                        matches!(p.branch_model(branch).behavior(), BranchBehavior::Loop { .. }),
+                        "backward edges must be loop branches (block {i})"
+                    );
+                    assert!(i - taken.index() <= 16, "back edges stay within the kernel");
+                }
+            }
+        }
+        assert!(back_edges >= 50, "kernel structure produces many loops: {back_edges}");
+    }
+
+    #[test]
+    fn mem_fraction_is_respected() {
+        let p = small_spec().generate();
+        let mems = p
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| i.op.is_mem())
+            .count();
+        // mem_frac applies to body instructions only; terminators dilute it.
+        let frac = mems as f64 / p.instr_count() as f64;
+        assert!(frac > 0.15 && frac < 0.40, "mem fraction {frac}");
+        assert_eq!(p.stream_count(), mems, "one stream per static mem instruction");
+    }
+
+    #[test]
+    fn loop_branches_point_backwards() {
+        let p = small_spec().generate();
+        for b in p.blocks() {
+            if let Terminator::Branch { branch, taken, .. } = b.terminator {
+                if matches!(p.branch_model(branch).behavior(), BranchBehavior::Loop { .. }) {
+                    let own = p.block_of(b.start_pc).unwrap();
+                    assert!(taken.0 <= own.0, "loop target {taken} after block {own}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn builder_rejects_bad_fraction() {
+        let _ = WorkloadSpec::builder("bad").mem_frac(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn builder_rejects_overcommitted_terminators() {
+        let _ = WorkloadSpec::builder("bad").branch_frac(0.8).jump_frac(0.4).build();
+    }
+}

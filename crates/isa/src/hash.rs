@@ -1,0 +1,93 @@
+//! Small deterministic mixing functions.
+//!
+//! The simulator needs *pure* pseudo-random decisions keyed by
+//! `(seed, static id, dynamic occurrence index)`: branch outcomes and memory
+//! addresses must be reproducible, and the wrong-path machinery must be able
+//! to *peek* at plausible outcomes without consuming architectural state.
+//! A stateful RNG cannot do that; a mixing function can.
+//!
+//! The functions here are based on the public-domain SplitMix64 finaliser,
+//! which passes BigCrush when used as a counter-based generator.
+
+/// SplitMix64 finaliser: avalanching 64-bit mix.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one, order-sensitive.
+#[inline]
+#[must_use]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b).rotate_left(17))
+}
+
+/// Mixes three words into one, order-sensitive.
+#[inline]
+#[must_use]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix2(mix2(a, b), c)
+}
+
+/// Uniform `f64` in `[0, 1)` derived from a hash value.
+#[inline]
+#[must_use]
+pub fn unit_f64(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0,1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministic Bernoulli draw: true with probability `p`.
+#[inline]
+#[must_use]
+pub fn bernoulli(h: u64, p: f64) -> bool {
+    unit_f64(h) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_avalanches() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // One flipped input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((20..=44).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn mix2_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(mix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_probability_in_aggregate() {
+        let p = 0.3;
+        let n = 100_000;
+        let hits = (0..n).filter(|&i| bernoulli(mix2(99, i), p)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        assert!(!bernoulli(mix64(7), 0.0));
+        assert!(bernoulli(mix64(7), 1.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Memory address-stream models for loads and stores.
+//!
+//! Every static memory instruction owns a stream model describing where its
+//! dynamic instances point. The model is a *pure function* of the occurrence
+//! index, which gives three properties the simulator needs:
+//!
+//! 1. determinism — run-to-run reproducibility;
+//! 2. wrong-path addresses for free — a wrong-path load peeks at the address
+//!    its next architectural instance would use, without consuming state;
+//! 3. controllable locality — the `p_jump`/`region` knobs set the D-cache
+//!    miss rate of a workload.
+
+use crate::hash::{bernoulli, mix3, unit_f64};
+
+/// Alignment (bytes) of every generated data address.
+pub const ACCESS_BYTES: u64 = 8;
+
+/// Address-stream model of one static memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemStreamSpec {
+    /// Base address of the stream's own sequential footprint.
+    pub base: u64,
+    /// Stride in bytes between consecutive sequential accesses.
+    pub stride: u64,
+    /// Size in bytes of the sequential footprint (wraps around).
+    pub footprint: u64,
+    /// Probability that an access jumps to a random location in the shared
+    /// `region` instead of following the stride.
+    pub p_jump: f64,
+    /// Base address of the shared random region (models a heap).
+    pub region_base: u64,
+    /// Size in bytes of the shared random region.
+    pub region_size: u64,
+    /// Per-stream seed.
+    pub seed: u64,
+}
+
+impl MemStreamSpec {
+    /// A perfectly sequential stream (high locality).
+    #[must_use]
+    pub fn sequential(base: u64, footprint: u64, seed: u64) -> MemStreamSpec {
+        MemStreamSpec {
+            base,
+            stride: ACCESS_BYTES,
+            footprint: footprint.max(ACCESS_BYTES),
+            p_jump: 0.0,
+            region_base: base,
+            region_size: footprint.max(ACCESS_BYTES),
+            seed,
+        }
+    }
+
+    /// Address of the `n`-th dynamic access of this stream. Pure.
+    #[must_use]
+    pub fn address(&self, n: u64) -> u64 {
+        let h = mix3(self.seed, n, 0xadd2);
+        let addr = if self.p_jump > 0.0 && bernoulli(h, self.p_jump) {
+            let span = (self.region_size / ACCESS_BYTES).max(1);
+            let slot = (unit_f64(mix3(self.seed, n, 0x6a6d)) * span as f64) as u64 % span;
+            self.region_base + slot * ACCESS_BYTES
+        } else {
+            let span = self.footprint.max(ACCESS_BYTES);
+            self.base + (n * self.stride) % span
+        };
+        addr & !(ACCESS_BYTES - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_strides_and_wraps() {
+        let s = MemStreamSpec::sequential(0x1000, 32, 1);
+        assert_eq!(s.address(0), 0x1000);
+        assert_eq!(s.address(1), 0x1008);
+        assert_eq!(s.address(3), 0x1018);
+        assert_eq!(s.address(4), 0x1000); // wrapped at 32 bytes
+    }
+
+    #[test]
+    fn addresses_are_aligned() {
+        let s = MemStreamSpec {
+            base: 0x1003, // deliberately misaligned base
+            stride: 24,
+            footprint: 4096,
+            p_jump: 0.5,
+            region_base: 0x10_0000,
+            region_size: 1 << 20,
+            seed: 9,
+        };
+        for n in 0..1000 {
+            assert_eq!(s.address(n) % ACCESS_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn jump_probability_controls_region_accesses() {
+        let s = MemStreamSpec {
+            base: 0x1000,
+            stride: 8,
+            footprint: 1024,
+            p_jump: 0.25,
+            region_base: 0x10_0000,
+            region_size: 1 << 20,
+            seed: 3,
+        };
+        let n = 100_000;
+        let jumps = (0..n).filter(|&i| s.address(i) >= 0x10_0000).count();
+        let rate = jumps as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "jump rate {rate}");
+    }
+
+    #[test]
+    fn jump_addresses_stay_in_region() {
+        let s = MemStreamSpec {
+            base: 0,
+            stride: 8,
+            footprint: 64,
+            p_jump: 1.0,
+            region_base: 0x4000,
+            region_size: 0x800,
+            seed: 5,
+        };
+        for n in 0..10_000 {
+            let a = s.address(n);
+            assert!((0x4000..0x4800).contains(&a), "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn address_is_pure() {
+        let s = MemStreamSpec::sequential(0x2000, 4096, 77);
+        assert_eq!(s.address(123), s.address(123));
+    }
+}

@@ -1,0 +1,313 @@
+//! Two-level memory hierarchy facade.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::tlb::Tlb;
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles (the paper's "L2 miss latency").
+    pub memory_latency: u32,
+    /// Data TLB entries.
+    pub tlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// TLB refill penalty in cycles.
+    pub tlb_miss_latency: u32,
+}
+
+impl MemoryConfig {
+    /// Table 3 of the paper: 64 KB/2-way L1s with 1-cycle hits, 512 KB
+    /// 4-way L2 with 6-cycle hits and 18-cycle misses, 128-entry TLB.
+    #[must_use]
+    pub fn paper_default() -> MemoryConfig {
+        MemoryConfig {
+            l1i: CacheConfig {
+                name: "l1i".into(),
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 32,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                name: "l1d".into(),
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 32,
+                hit_latency: 1,
+            },
+            l2: CacheConfig {
+                name: "l2".into(),
+                size_bytes: 512 * 1024,
+                ways: 4,
+                line_bytes: 32,
+                hit_latency: 6,
+            },
+            memory_latency: 18,
+            tlb_entries: 128,
+            page_bytes: 4096,
+            tlb_miss_latency: 30,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::paper_default()
+    }
+}
+
+/// Outcome of one hierarchy access: total latency plus which levels were
+/// touched (the power model charges per-level activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total access latency in cycles.
+    pub latency: u32,
+    /// Whether the L1 (I or D, depending on the access kind) hit.
+    pub l1_hit: bool,
+    /// Whether the L2 was accessed (i.e. the L1 missed).
+    pub l2_accessed: bool,
+    /// Whether the L2 hit, when accessed.
+    pub l2_hit: bool,
+    /// Whether the TLB missed (data accesses only).
+    pub tlb_miss: bool,
+}
+
+/// L1I + L1D + unified L2 + data TLB.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    memory_latency: u32,
+    tlb_miss_latency: u32,
+    /// Wrong-path L1I fills awaiting squash-time invalidation.
+    spec_fills_l1i: Vec<u64>,
+    /// Wrong-path L1D fills awaiting squash-time invalidation.
+    spec_fills_l1d: Vec<u64>,
+    /// Wrong-path L2 fills awaiting squash-time invalidation.
+    spec_fills_l2: Vec<u64>,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache geometry is invalid (see [`Cache::new`]).
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            tlb: Tlb::new(config.tlb_entries, config.page_bytes),
+            memory_latency: config.memory_latency,
+            tlb_miss_latency: config.tlb_miss_latency,
+            spec_fills_l1i: Vec::new(),
+            spec_fills_l1d: Vec::new(),
+            spec_fills_l2: Vec::new(),
+        }
+    }
+
+    /// Instruction fetch of the line containing `pc`.
+    pub fn access_instr(&mut self, pc: u64) -> AccessResult {
+        let l1_hit = self.l1i.access(pc);
+        if l1_hit {
+            return AccessResult {
+                latency: self.l1i.config().hit_latency,
+                l1_hit,
+                l2_accessed: false,
+                l2_hit: false,
+                tlb_miss: false,
+            };
+        }
+        let l2_hit = self.l2.access(pc);
+        let latency = self.l1i.config().hit_latency
+            + if l2_hit { self.l2.config().hit_latency } else { self.memory_latency };
+        AccessResult { latency, l1_hit, l2_accessed: true, l2_hit, tlb_miss: false }
+    }
+
+    /// Data access at `addr` (`write` selects store semantics — identical
+    /// timing, separate accounting upstream).
+    pub fn access_data(&mut self, addr: u64, write: bool) -> AccessResult {
+        let _ = write; // allocate-on-write policy: timing identical to reads
+        let tlb_hit = self.tlb.access(addr);
+        let l1_hit = self.l1d.access(addr);
+        let mut latency =
+            if tlb_hit { 0 } else { self.tlb_miss_latency } + self.l1d.config().hit_latency;
+        let (l2_accessed, l2_hit) = if l1_hit {
+            (false, false)
+        } else {
+            let hit = self.l2.access(addr);
+            latency += if hit { self.l2.config().hit_latency } else { self.memory_latency };
+            (true, hit)
+        };
+        AccessResult { latency, l1_hit, l2_accessed, l2_hit, tlb_miss: !tlb_hit }
+    }
+
+    /// Instruction fetch down a wrong path: same timing and accounting as
+    /// [`MemoryHierarchy::access_instr`], but L1 fills are tagged
+    /// speculative and are invalidated by [`MemoryHierarchy::squash_speculative`]
+    /// when the wrong path squashes (see [`Cache::access_speculative`]).
+    pub fn access_instr_wrong_path(&mut self, pc: u64) -> AccessResult {
+        let l1_hit = self.l1i.access_speculative(pc);
+        if l1_hit {
+            return AccessResult {
+                latency: self.l1i.config().hit_latency,
+                l1_hit,
+                l2_accessed: false,
+                l2_hit: false,
+                tlb_miss: false,
+            };
+        }
+        self.spec_fills_l1i.push(pc);
+        let l2_hit = self.l2.access_speculative(pc);
+        if !l2_hit {
+            self.spec_fills_l2.push(pc);
+        }
+        let latency = self.l1i.config().hit_latency
+            + if l2_hit { self.l2.config().hit_latency } else { self.memory_latency };
+        AccessResult { latency, l1_hit, l2_accessed: true, l2_hit, tlb_miss: false }
+    }
+
+    /// Data access down a wrong path: L1 fills are tagged speculative.
+    pub fn access_data_wrong_path(&mut self, addr: u64) -> AccessResult {
+        let tlb_hit = self.tlb.access_speculative(addr);
+        let l1_hit = self.l1d.access_speculative(addr);
+        let mut latency =
+            if tlb_hit { 0 } else { self.tlb_miss_latency } + self.l1d.config().hit_latency;
+        let (l2_accessed, l2_hit) = if l1_hit {
+            (false, false)
+        } else {
+            self.spec_fills_l1d.push(addr);
+            let hit = self.l2.access_speculative(addr);
+            if !hit {
+                self.spec_fills_l2.push(addr);
+            }
+            latency += if hit { self.l2.config().hit_latency } else { self.memory_latency };
+            (true, hit)
+        };
+        AccessResult { latency, l1_hit, l2_accessed, l2_hit, tlb_miss: !tlb_hit }
+    }
+
+    /// Invalidates all still-speculative wrong-path fills (L1s, L2 and
+    /// TLB). The core calls this on every misprediction recovery.
+    pub fn squash_speculative(&mut self) {
+        self.tlb.squash_speculative();
+        for pc in self.spec_fills_l1i.drain(..) {
+            self.l1i.invalidate_if_speculative(pc);
+        }
+        for addr in self.spec_fills_l1d.drain(..) {
+            self.l1d.invalidate_if_speculative(addr);
+        }
+        for addr in self.spec_fills_l2.drain(..) {
+            self.l2.invalidate_if_speculative(addr);
+        }
+    }
+
+    /// L1I statistics.
+    #[must_use]
+    pub fn l1i_stats(&self) -> CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L1D statistics.
+    #[must_use]
+    pub fn l1d_stats(&self) -> CacheStats {
+        self.l1d.stats()
+    }
+
+    /// L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// TLB miss rate.
+    #[must_use]
+    pub fn tlb_miss_rate(&self) -> f64 {
+        self.tlb.miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemoryConfig::paper_default())
+    }
+
+    #[test]
+    fn instr_cold_miss_goes_to_memory() {
+        let mut m = hier();
+        let r = m.access_instr(0x40_0000);
+        assert!(!r.l1_hit);
+        assert!(r.l2_accessed && !r.l2_hit);
+        assert_eq!(r.latency, 1 + 18);
+    }
+
+    #[test]
+    fn instr_second_access_hits_l1() {
+        let mut m = hier();
+        m.access_instr(0x40_0000);
+        let r = m.access_instr(0x40_0000);
+        assert!(r.l1_hit);
+        assert_eq!(r.latency, 1);
+        assert!(!r.l2_accessed);
+    }
+
+    #[test]
+    fn data_l2_hit_after_l1_eviction() {
+        let mut m = hier();
+        // L1D: 64 KB 2-way, 1024 sets. Two addresses 32 KB apart share a set.
+        let base = 0x100_0000u64;
+        m.access_data(base, false);
+        m.access_data(base + 32 * 1024, false);
+        m.access_data(base + 64 * 1024, false); // evicts `base` from L1
+        let r = m.access_data(base, false);
+        assert!(!r.l1_hit, "evicted from L1");
+        assert!(r.l2_accessed && r.l2_hit, "still in L2");
+        assert_eq!(r.latency, 1 + 6);
+    }
+
+    #[test]
+    fn tlb_miss_adds_penalty() {
+        let mut m = hier();
+        let r = m.access_data(0x5000_0000, false);
+        assert!(r.tlb_miss);
+        assert_eq!(r.latency, 30 + 1 + 18);
+        let r2 = m.access_data(0x5000_0008, false);
+        assert!(!r2.tlb_miss, "same page");
+        assert!(r2.l1_hit, "same line");
+        assert_eq!(r2.latency, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut m = hier();
+        m.access_instr(0x40_0000);
+        m.access_data(0x1000, false);
+        m.access_data(0x1000, true);
+        assert_eq!(m.l1i_stats().accesses, 1);
+        assert_eq!(m.l1d_stats().accesses, 2);
+        assert_eq!(m.l2_stats().accesses, 2, "one I-side, one D-side miss");
+        assert!(m.tlb_miss_rate() > 0.0);
+    }
+
+    #[test]
+    fn store_and_load_share_lines() {
+        let mut m = hier();
+        m.access_data(0x2000, true);
+        let r = m.access_data(0x2000, false);
+        assert!(r.l1_hit);
+    }
+}

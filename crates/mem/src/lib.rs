@@ -1,0 +1,39 @@
+//! # st-mem — cache hierarchy and TLB
+//!
+//! The memory substrate of the cycle simulator, matching Table 3 of the
+//! Selective Throttling paper:
+//!
+//! * L1 I-cache: 64 KB, 2-way, 32-byte lines, 1-cycle hit;
+//! * L1 D-cache: 64 KB, 2-way, 32-byte lines, 1-cycle hit;
+//! * unified L2: 512 KB, 4-way, 32-byte lines, 6-cycle hit, 18-cycle miss
+//!   (i.e. memory) latency;
+//! * TLB: 128 entries, fully associative, 4 KB pages.
+//!
+//! Caches are set-associative with true-LRU replacement and allocate on
+//! both read and write misses (write-allocate, write-back is not modelled —
+//! timing and activity are what the power model consumes, not coherence).
+//! Wrong-path fetches and loads access these caches exactly like
+//! correct-path ones, which is how the paper's I-cache pollution effect
+//! (§3, "oracle fetch obtains a speedup of 5%") arises.
+//!
+//! ## Example
+//!
+//! ```
+//! use st_mem::{MemoryHierarchy, MemoryConfig};
+//!
+//! let mut mem = MemoryHierarchy::new(MemoryConfig::paper_default());
+//! let first = mem.access_data(0x1000, false);
+//! let second = mem.access_data(0x1000, false);
+//! assert!(first.latency > second.latency, "second access hits in L1");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessResult, MemoryConfig, MemoryHierarchy};
+pub use tlb::Tlb;

@@ -1,0 +1,157 @@
+//! Fully-associative translation lookaside buffer.
+//!
+//! Table 3: 128 entries, fully associative, 4 KB pages. Only timing is
+//! modelled: a miss costs a fixed refill penalty and installs the page.
+
+/// Fully-associative TLB with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    page_bits: u32,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    page: u64,
+    lru: u64,
+    /// Installed by a wrong-path access; evicted on squash (see the cache
+    /// counterpart [`crate::Cache::access_speculative`] for the rationale).
+    spec: bool,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries and `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(capacity: usize, page_bytes: u64) -> Tlb {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_bits: page_bytes.trailing_zeros(),
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's configuration: 128 entries, 4 KB pages.
+    #[must_use]
+    pub fn paper_default() -> Tlb {
+        Tlb::new(128, 4096)
+    }
+
+    /// Translates `addr`; returns `true` on hit. Misses install the page.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_inner(addr, false)
+    }
+
+    /// Wrong-path translation: installed pages are tagged speculative and
+    /// can be dropped with [`Tlb::squash_speculative`].
+    pub fn access_speculative(&mut self, addr: u64) -> bool {
+        self.access_inner(addr, true)
+    }
+
+    fn access_inner(&mut self, addr: u64, speculative: bool) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let page = addr >> self.page_bits;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
+            e.lru = self.tick;
+            if !speculative {
+                e.spec = false;
+            }
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(TlbEntry { page, lru: self.tick, spec: speculative });
+        false
+    }
+
+    /// Drops all pages still tagged as wrong-path installs.
+    pub fn squash_speculative(&mut self) {
+        self.entries.retain(|e| !e.spec);
+    }
+
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1ffc), "same 4 KB page");
+        assert!(!t.access(0x2000), "next page");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        assert!(t.access(0x0000), "refresh page 0; page 1 is LRU");
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000), "page 1 was evicted");
+    }
+
+    #[test]
+    fn miss_rate_accounting() {
+        let mut t = Tlb::new(128, 4096);
+        for i in 0..10u64 {
+            t.access(i * 4096);
+        }
+        for i in 0..10u64 {
+            t.access(i * 4096);
+        }
+        assert_eq!(t.accesses(), 20);
+        assert!((t.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_has_128_entries() {
+        let mut t = Tlb::paper_default();
+        for i in 0..128u64 {
+            t.access(i << 12);
+        }
+        for i in 0..128u64 {
+            assert!(t.access(i << 12), "page {i} retained");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Pipeline configuration (the paper's Table 3) and the pipeline-depth
+//! mapping used by the Figure 6 sensitivity study.
+
+use st_mem::MemoryConfig;
+
+/// Functional-unit pool: `(count, latency)` per class (Table 3).
+///
+/// All units except the integer and FP multipliers are fully pipelined
+/// (one issue per cycle); multipliers are modelled as unpipelined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Integer ALUs.
+    pub int_alu: (u32, u32),
+    /// Integer multiply/divide units.
+    pub int_mult: (u32, u32),
+    /// Memory ports (address generation).
+    pub mem_ports: (u32, u32),
+    /// FP adders.
+    pub fp_alu: (u32, u32),
+    /// FP multiply/divide units.
+    pub fp_mult: (u32, u32),
+}
+
+impl FuConfig {
+    /// Table 3: 8 int ALU, 2 int mult, 2 mem ports, 8 FP ALU, 1 FP mult.
+    #[must_use]
+    pub fn paper_default() -> FuConfig {
+        FuConfig {
+            int_alu: (8, 1),
+            int_mult: (2, 3),
+            mem_ports: (2, 1),
+            fp_alu: (8, 2),
+            fp_mult: (1, 4),
+        }
+    }
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        FuConfig::paper_default()
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Nominal end-to-end depth in stages (informational; set via
+    /// [`PipelineConfig::with_depth`]).
+    pub depth: u32,
+    /// Fetch width (instructions/cycle).
+    pub fetch_width: u32,
+    /// Maximum predicted-taken branches followed per fetch cycle.
+    pub max_taken_per_cycle: u32,
+    /// Decode/rename width.
+    pub decode_width: u32,
+    /// Issue width.
+    pub issue_width: u32,
+    /// Commit width.
+    pub commit_width: u32,
+    /// In-order front-end latency in cycles between fetch and rename
+    /// (the pipeline-depth knob of §5.3.1).
+    pub front_latency: u32,
+    /// Extra cycles added to every FU latency (deep-pipeline knob).
+    pub exec_extra_latency: u32,
+    /// Additional fetch-redirect penalty on a misprediction, on top of the
+    /// natural front-end refill (Table 3: 2 cycles).
+    pub extra_mispredict_penalty: u32,
+    /// RUU (instruction window / reorder buffer) entries.
+    pub ruu_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Fetch-queue capacity (instructions buffered between fetch and
+    /// rename, in addition to those in flight in the front-end pipe).
+    pub ifq_size: usize,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Memory hierarchy.
+    pub mem: MemoryConfig,
+    /// Predictor/estimator hardware budget in bytes (gshare table).
+    pub predictor_bytes: usize,
+    /// Confidence-estimator hardware budget in bytes.
+    pub estimator_bytes: usize,
+    /// Extra cycles of fetch bubble when an unconditional jump misses in
+    /// the BTB and must wait for a decode-stage redirect.
+    pub jump_btb_miss_bubble: u32,
+}
+
+impl PipelineConfig {
+    /// Table 3 defaults on a 14-stage pipeline.
+    #[must_use]
+    pub fn paper_default() -> PipelineConfig {
+        PipelineConfig::with_depth(14)
+    }
+
+    /// A configuration with the given nominal pipeline depth (Figure 6
+    /// sweeps 6–28).
+    ///
+    /// Following §5.3.1, depth is varied by (a) lengthening the in-order
+    /// front end and (b) adding latency to execution and the L1 D-cache.
+    /// Six stages are fixed (fetch, rename, issue, execute, writeback,
+    /// commit); the remainder is front-end latency. Beyond 14 stages every
+    /// 7 extra stages add one cycle of execute and L1D latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 6`.
+    #[must_use]
+    pub fn with_depth(depth: u32) -> PipelineConfig {
+        assert!(depth >= 6, "pipeline depth {depth} below the 6-stage minimum");
+        let front_latency = depth - 6;
+        let extra = depth.saturating_sub(14) / 7;
+        let mut mem = MemoryConfig::paper_default();
+        mem.l1d.hit_latency += extra;
+        PipelineConfig {
+            depth,
+            fetch_width: 8,
+            max_taken_per_cycle: 2,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            front_latency,
+            exec_extra_latency: extra,
+            extra_mispredict_penalty: 2,
+            ruu_size: 128,
+            lsq_size: 64,
+            // The fetch queue must cover the in-order front-end transit
+            // plus slack, or the queue itself would throttle fetch.
+            ifq_size: ((front_latency + 2) * 8) as usize,
+            fu: FuConfig::paper_default(),
+            mem,
+            predictor_bytes: 8 * 1024,
+            estimator_bytes: 8 * 1024,
+            jump_btb_miss_bubble: 2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent values (zero widths or empty structures);
+    /// configurations are produced by experiment code, so errors are bugs.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.decode_width > 0, "decode width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.ruu_size >= 2, "RUU too small");
+        assert!(self.lsq_size >= 2, "LSQ too small");
+        assert!(self.ifq_size >= self.fetch_width as usize, "IFQ smaller than fetch width");
+        assert!(self.max_taken_per_cycle >= 1, "must allow at least one taken branch");
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table3() {
+        let c = PipelineConfig::paper_default();
+        assert_eq!(c.depth, 14);
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.issue_width, 8);
+        ass_eq_helper(c.ruu_size, 128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.fu.int_alu.0, 8);
+        assert_eq!(c.fu.fp_mult.0, 1);
+        assert_eq!(c.extra_mispredict_penalty, 2);
+        assert_eq!(c.front_latency, 8);
+        assert_eq!(c.exec_extra_latency, 0);
+        c.validate();
+    }
+
+    fn ass_eq_helper(a: usize, b: usize) {
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depth_mapping_scales_front_end_and_latencies() {
+        let d6 = PipelineConfig::with_depth(6);
+        assert_eq!(d6.front_latency, 0);
+        assert_eq!(d6.exec_extra_latency, 0);
+        assert_eq!(d6.mem.l1d.hit_latency, 1);
+
+        let d21 = PipelineConfig::with_depth(21);
+        assert_eq!(d21.front_latency, 15);
+        assert_eq!(d21.exec_extra_latency, 1);
+        assert_eq!(d21.mem.l1d.hit_latency, 2);
+
+        let d28 = PipelineConfig::with_depth(28);
+        assert_eq!(d28.front_latency, 22);
+        assert_eq!(d28.exec_extra_latency, 2);
+        assert_eq!(d28.mem.l1d.hit_latency, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the 6-stage minimum")]
+    fn depth_below_minimum_rejected() {
+        let _ = PipelineConfig::with_depth(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "IFQ smaller")]
+    fn validate_catches_tiny_ifq() {
+        let mut c = PipelineConfig::paper_default();
+        c.ifq_size = 4;
+        c.validate();
+    }
+}

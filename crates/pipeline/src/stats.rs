@@ -1,0 +1,113 @@
+//! Performance statistics gathered by the core.
+
+/// Cache/TLB summary extracted from the memory hierarchy at run end.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemSummary {
+    /// L1 I-cache miss rate.
+    pub l1i_miss_rate: f64,
+    /// L1 D-cache miss rate.
+    pub l1d_miss_rate: f64,
+    /// L2 miss rate.
+    pub l2_miss_rate: f64,
+    /// Data-TLB miss rate.
+    pub tlb_miss_rate: f64,
+}
+
+/// Counters describing one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed (architecturally retired) instructions.
+    pub committed: u64,
+    /// All fetched instructions, correct and wrong path.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Instructions renamed/dispatched into the window.
+    pub dispatched: u64,
+    /// Wrong-path instructions dispatched.
+    pub wrong_path_dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Wrong-path instructions issued.
+    pub wrong_path_issued: u64,
+    /// Instructions squashed by branch-misprediction recovery.
+    pub squashed: u64,
+    /// Conditional branches committed.
+    pub branches_committed: u64,
+    /// Committed conditional branches that were mispredicted.
+    pub mispredicts_committed: u64,
+    /// Branch-resolution squashes (one per mispredicted resolution,
+    /// including wrong-path branches redirecting inside a wrong path).
+    pub recoveries: u64,
+    /// Cycles fetch delivered nothing because a controller gated it.
+    pub fetch_gated_cycles: u64,
+    /// Cycles decode accepted nothing because a controller gated it.
+    pub decode_gated_cycles: u64,
+    /// Instruction selections skipped because of an unresolved no-select
+    /// trigger (selection throttling at work).
+    pub selection_blocked: u64,
+}
+
+impl PerfStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Committed-branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches_committed == 0 {
+            0.0
+        } else {
+            self.mispredicts_committed as f64 / self.branches_committed as f64
+        }
+    }
+
+    /// Fraction of fetched instructions that were on a wrong path (the
+    /// paper cites up to 80% for deep pipelines).
+    #[must_use]
+    pub fn wrong_path_fetch_frac(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.wrong_path_fetched as f64 / self.fetched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = PerfStats {
+            cycles: 100,
+            committed: 150,
+            fetched: 400,
+            wrong_path_fetched: 100,
+            branches_committed: 20,
+            mispredicts_committed: 2,
+            ..PerfStats::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((s.wrong_path_fetch_frac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let s = PerfStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.wrong_path_fetch_frac(), 0.0);
+    }
+}

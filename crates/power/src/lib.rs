@@ -1,0 +1,48 @@
+//! # st-power — Wattch-style architecture-level power model
+//!
+//! Reproduces the power accounting the Selective Throttling paper builds on
+//! Wattch v1.02 (Brooks, Tiwari & Martonosi):
+//!
+//! * one power budget per microarchitectural unit, anchored to the paper's
+//!   Table 1 breakdown of a 56.4 W, 1200 MHz, 0.18 µm processor;
+//! * clock-gating style **cc3**: a unit's power scales linearly with its
+//!   port usage, and inactive units still dissipate 10 % of their maximum
+//!   (the paper's footnote 1);
+//! * per-instruction *energy ledgers* so that, when an instruction squashes,
+//!   everything it spent is moved to a "wasted" account — this is how the
+//!   paper derives "% of overall power wasted by mis-speculated
+//!   instructions" (Table 1, column 2).
+//!
+//! Because cc3 is linear in usage, the marginal energy of one activity
+//! event is a constant (`E_max · 0.9 / ports`), which lets the pipeline
+//! charge ledgers with precomputed per-event energies while the per-cycle
+//! totals remain exactly the cc3 sum. The residual (10 % idle floors and
+//! the clock tree) has no single owning instruction; reports apportion it
+//! pro-rata to the attributed useful/wasted split, matching how the paper
+//! reads Wattch's aggregate counters.
+//!
+//! ## Example
+//!
+//! ```
+//! use st_power::{CycleActivity, PowerModel, PowerConfig, Unit};
+//!
+//! let model = PowerModel::new(PowerConfig::paper_default());
+//! let mut idle = CycleActivity::default();
+//! let idle_energy = model.cycle_energy(&idle).total;
+//! idle.add(Unit::Alu, 8);
+//! let busy_energy = model.cycle_energy(&idle).total;
+//! assert!(busy_energy > idle_energy);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod account;
+pub mod model;
+pub mod report;
+pub mod unit;
+
+pub use account::{EnergyAccount, EnergyLedger, InstrFate};
+pub use model::{ClockGating, CycleActivity, CycleEnergy, PowerConfig, PowerModel};
+pub use report::{savings_pct, EnergyReport};
+pub use unit::{Unit, UNIT_COUNT};

@@ -1,0 +1,101 @@
+//! Microarchitectural power units, one per row of the paper's Table 1.
+
+/// Number of modelled units.
+pub const UNIT_COUNT: usize = 11;
+
+/// A power-accounted microarchitectural unit (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// L1 instruction cache (part of the fetch stage).
+    ICache,
+    /// Branch predictor + BTB + confidence estimator.
+    Bpred,
+    /// Architectural register file.
+    Regfile,
+    /// Register rename logic.
+    Rename,
+    /// Instruction window / RUU: wakeup, selection and operand storage.
+    Window,
+    /// Load/store queue.
+    Lsq,
+    /// Functional units (integer + FP).
+    Alu,
+    /// L1 data cache.
+    DCache,
+    /// Unified L2 cache.
+    DCache2,
+    /// Result/bypass buses.
+    ResultBus,
+    /// Global clock tree (scales with aggregate activity under cc3).
+    Clock,
+}
+
+impl Unit {
+    /// All units, in Table 1 order.
+    #[must_use]
+    pub fn all() -> [Unit; UNIT_COUNT] {
+        [
+            Unit::ICache,
+            Unit::Bpred,
+            Unit::Regfile,
+            Unit::Rename,
+            Unit::Window,
+            Unit::Lsq,
+            Unit::Alu,
+            Unit::DCache,
+            Unit::DCache2,
+            Unit::ResultBus,
+            Unit::Clock,
+        ]
+    }
+
+    /// Dense index for array-backed accounting.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Wattch-style unit name, as printed in Table 1.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::ICache => "icache",
+            Unit::Bpred => "bpred",
+            Unit::Regfile => "regfile",
+            Unit::Rename => "rename",
+            Unit::Window => "window",
+            Unit::Lsq => "lsq",
+            Unit::Alu => "alu",
+            Unit::DCache => "dcache",
+            Unit::DCache2 => "dcache2",
+            Unit::ResultBus => "resultbus",
+            Unit::Clock => "clock",
+        }
+    }
+}
+
+impl std::fmt::Display for Unit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, u) in Unit::all().iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+        assert_eq!(Unit::all().len(), UNIT_COUNT);
+    }
+
+    #[test]
+    fn names_match_table1() {
+        assert_eq!(Unit::ICache.name(), "icache");
+        assert_eq!(Unit::DCache2.name(), "dcache2");
+        assert_eq!(Unit::Clock.to_string(), "clock");
+    }
+}

@@ -1,0 +1,93 @@
+//! ASCII bar charts — the textual stand-in for the paper's figures.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with labelled bars.
+///
+/// Values may be negative (the paper's E-D improvement bars go below
+/// zero); bars extend left or right of a zero axis accordingly.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    unit: String,
+    bars: Vec<(String, f64)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// Creates a chart with a title and a value unit (e.g. `"%"`).
+    #[must_use]
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> BarChart {
+        BarChart { title: title.into(), unit: unit.into(), bars: Vec::new(), width: 40 }
+    }
+
+    /// Sets the maximum bar width in characters (default 40).
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> BarChart {
+        self.width = width.max(8);
+        self
+    }
+
+    /// Adds a labelled bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push((label.into(), value));
+    }
+
+    /// Renders the chart.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if self.bars.is_empty() {
+            let _ = writeln!(out, "  (no data)");
+            return out;
+        }
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max_abs = self.bars.iter().map(|(_, v)| v.abs()).fold(f64::EPSILON, f64::max);
+        for (label, value) in &self.bars {
+            let n = ((value.abs() / max_abs) * self.width as f64).round() as usize;
+            let bar: String = if *value >= 0.0 {
+                "#".repeat(n)
+            } else {
+                format!("-{}", "#".repeat(n))
+            };
+            let _ = writeln!(out, "  {label:<label_w$}  {value:>8.2}{}  {bar}", self.unit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("Energy savings", "%").with_width(10);
+        c.bar("go", 20.0);
+        c.bar("gcc", 10.0);
+        let text = c.render();
+        assert!(text.contains("Energy savings"));
+        let go_line = text.lines().find(|l| l.contains("go")).unwrap();
+        let gcc_line = text.lines().find(|l| l.contains("gcc")).unwrap();
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(go_line), 10, "max bar uses full width");
+        assert_eq!(hashes(gcc_line), 5, "half value, half width");
+    }
+
+    #[test]
+    fn negative_bars_marked() {
+        let mut c = BarChart::new("E-D", "%");
+        c.bar("B3", -5.0);
+        c.bar("B1", 5.0);
+        let text = c.render();
+        let b3 = text.lines().find(|l| l.contains("B3")).unwrap();
+        assert!(b3.contains("-#"), "negative bars prefixed: {b3}");
+    }
+
+    #[test]
+    fn empty_chart_says_so() {
+        let c = BarChart::new("empty", "%");
+        assert!(c.render().contains("(no data)"));
+    }
+}

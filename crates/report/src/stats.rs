@@ -1,0 +1,62 @@
+//! Small numeric helpers for reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn arith_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of positive values; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+#[must_use]
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a fraction as a percent string with one decimal (e.g. `"13.5%"`).
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(arith_mean(&[]), 0.0);
+        assert!((arith_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geo_mean_rejects_nonpositive() {
+        let _ = geo_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.135), "13.5%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+}

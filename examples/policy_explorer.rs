@@ -1,0 +1,99 @@
+//! Policy design-space exploration: build custom [`ThrottlePolicy`]s beyond
+//! the paper's A/B/C matrix and chart the energy-vs-performance frontier.
+//!
+//! This is the workflow a microarchitect would use the library for:
+//! pick a workload, sweep candidate policies, and read the trade-off.
+//!
+//! Run with: `cargo run --release --example policy_explorer`
+
+use selective_throttling::core::{
+    compare, experiments, BandwidthLevel, Simulator, ThrottleAction, ThrottlePolicy,
+};
+use selective_throttling::report::Table;
+use selective_throttling::workloads;
+use st_core::{Experiment, ExperimentKind};
+
+fn policy_experiment(policy: ThrottlePolicy) -> Experiment {
+    Experiment { id: "CUSTOM", label: "custom policy", kind: ExperimentKind::Throttle(policy) }
+}
+
+fn main() {
+    use BandwidthLevel::{Full, Half, Quarter, Stall};
+    let instructions = 150_000;
+    let workload = workloads::twolf();
+
+    // Candidate policies, from gentle to brutal, including ones the paper
+    // never evaluated (e.g. HC-level throttling, decode-only stalls).
+    let candidates: Vec<(&str, ThrottlePolicy)> = vec![
+        ("gentle   (LC f/2)", ThrottlePolicy::low_only(ThrottleAction::fetch(Half), ThrottleAction::fetch(Half))),
+        ("paper C2 (LC f/4+ns, VLC f=0)", ThrottlePolicy::low_only(
+            ThrottleAction::fetch(Quarter).with_no_select(),
+            ThrottleAction::fetch(Stall),
+        )),
+        ("decode-only (LC d/4, VLC d=0)", ThrottlePolicy::low_only(
+            ThrottleAction::fetch_decode(Full, Quarter),
+            ThrottleAction::fetch_decode(Full, Stall),
+        )),
+        ("select-only (LC ns, VLC ns)", ThrottlePolicy::low_only(
+            ThrottleAction::NONE.with_no_select(),
+            ThrottleAction::NONE.with_no_select(),
+        )),
+        ("hc-too   (HC f/2, LC f/4, VLC f=0)", ThrottlePolicy {
+            vhc: ThrottleAction::NONE,
+            hc: ThrottleAction::fetch(Half),
+            lc: ThrottleAction::fetch(Quarter),
+            vlc: ThrottleAction::fetch(Stall),
+        }),
+        ("brutal   (all f=0)", ThrottlePolicy {
+            vhc: ThrottleAction::NONE,
+            hc: ThrottleAction::fetch(Stall),
+            lc: ThrottleAction::fetch(Stall),
+            vlc: ThrottleAction::fetch(Stall),
+        }),
+    ];
+
+    println!("policy frontier on '{}' ({instructions} instructions):\n", workload.name);
+    let baseline = Simulator::builder()
+        .workload(workload.clone())
+        .max_instructions(instructions)
+        .build()
+        .run();
+
+    let mut t = Table::new(vec!["policy", "speedup", "power %", "energy %", "E-D %"])
+        .with_title("custom-policy trade-off frontier");
+    for (name, policy) in candidates {
+        let r = Simulator::builder()
+            .workload(workload.clone())
+            .max_instructions(instructions)
+            .experiment(policy_experiment(policy))
+            .build()
+            .run();
+        let c = compare(&baseline, &r);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", c.speedup),
+            format!("{:+.1}", c.power_savings_pct),
+            format!("{:+.1}", c.energy_savings_pct),
+            format!("{:+.1}", c.ed_improvement_pct),
+        ]);
+    }
+    // Reference: the paper's pipeline-gating baseline.
+    let gating = Simulator::builder()
+        .workload(workload)
+        .max_instructions(instructions)
+        .experiment(experiments::c7())
+        .build()
+        .run();
+    let c = compare(&baseline, &gating);
+    t.row(vec![
+        "pipeline gating (ref)".into(),
+        format!("{:.3}", c.speedup),
+        format!("{:+.1}", c.power_savings_pct),
+        format!("{:+.1}", c.energy_savings_pct),
+        format!("{:+.1}", c.ed_improvement_pct),
+    ]);
+    println!("{}", t.render());
+    println!("takeaway: energy savings rise with aggressiveness, but E-D peaks at a");
+    println!("moderate policy and collapses once false low-confidence triggers dominate —");
+    println!("the paper's central observation (§5.2).");
+}

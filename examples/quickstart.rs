@@ -1,0 +1,49 @@
+//! Quickstart: simulate one workload on the paper's 14-stage machine,
+//! baseline versus the paper's best policy (experiment C2), and print the
+//! four metrics the paper reports.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use selective_throttling::core::{compare, experiments, Simulator};
+use selective_throttling::workloads;
+
+fn main() {
+    let instructions = 200_000;
+    let workload = workloads::by_name("go").expect("'go' is a built-in workload");
+
+    println!("simulating {instructions} instructions of '{}'...", workload.name);
+
+    let baseline = Simulator::builder()
+        .workload(workload.clone())
+        .max_instructions(instructions)
+        .build()
+        .run();
+
+    let throttled = Simulator::builder()
+        .workload(workload)
+        .max_instructions(instructions)
+        .experiment(experiments::c2())
+        .build()
+        .run();
+
+    println!("\nbaseline:");
+    println!("  IPC                 {:.3}", baseline.ipc());
+    println!("  mispredict rate     {:.1}%", 100.0 * baseline.perf.mispredict_rate());
+    println!("  avg power           {:.2} W", baseline.energy.avg_power());
+    println!(
+        "  energy wasted by mis-speculation: {:.1}% (paper: ~28% on average)",
+        100.0 * baseline.energy.wasted_frac()
+    );
+
+    println!("\nselective throttling (C2: VLC stalls fetch, LC fetches at 1/4 + no-select):");
+    println!("  IPC                 {:.3}", throttled.ipc());
+    println!("  fetch-gated cycles  {}", throttled.perf.fetch_gated_cycles);
+    println!("  selections blocked  {}", throttled.perf.selection_blocked);
+
+    let cmp = compare(&baseline, &throttled);
+    println!("\nC2 vs baseline:");
+    println!("  speedup            {:.3}  (1.0 = unchanged)", cmp.speedup);
+    println!("  power savings      {:+.1}%", cmp.power_savings_pct);
+    println!("  energy savings     {:+.1}%  (paper: 13.5% avg, up to 19.2% for go)", cmp.energy_savings_pct);
+    println!("  E-D improvement    {:+.1}%  (paper: 8.5% avg)", cmp.ed_improvement_pct);
+}

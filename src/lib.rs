@@ -1,0 +1,43 @@
+//! # selective-throttling — facade crate
+//!
+//! Reproduction of *"Power-Aware Control Speculation through Selective
+//! Throttling"* (Aragón, González & González, HPCA-9, 2003).
+//!
+//! This crate re-exports the workspace's public API so applications can use
+//! a single dependency. See the individual crates for details:
+//!
+//! * [`isa`] — synthetic ISA, programs, branch/memory behaviour models
+//! * [`bpred`] — branch predictors and confidence estimators
+//! * [`mem`] — cache hierarchy
+//! * [`pipeline`] — the cycle-level out-of-order core
+//! * [`power`] — Wattch-style power model (cc3 clock gating)
+//! * [`core`] — selective throttling, pipeline gating, oracle modes,
+//!   experiments and the [`core::Simulator`] facade
+//! * [`workloads`] — the eight calibrated SPECint-like workload profiles
+//! * [`report`] — table/figure formatting used by the bench harness
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use selective_throttling::core::{experiments, Simulator};
+//! use selective_throttling::workloads;
+//!
+//! let workload = workloads::by_name("go").expect("known workload");
+//! let report = Simulator::builder()
+//!     .workload(workload)
+//!     .max_instructions(20_000)
+//!     .experiment(experiments::c2())
+//!     .build()
+//!     .run();
+//! assert!(report.perf.committed >= 20_000);
+//! assert_eq!(report.experiment, "C2");
+//! ```
+
+pub use st_bpred as bpred;
+pub use st_core as core;
+pub use st_isa as isa;
+pub use st_mem as mem;
+pub use st_pipeline as pipeline;
+pub use st_power as power;
+pub use st_report as report;
+pub use st_workloads as workloads;

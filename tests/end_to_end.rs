@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: every experiment id runs end-to-end on a
+//! real workload, invariants hold across the full stack.
+
+use selective_throttling::core::{compare, experiments, SimReport, Simulator};
+use selective_throttling::pipeline::PipelineConfig;
+use st_isa::WorkloadSpec;
+
+const N: u64 = 15_000;
+
+fn run(spec: &WorkloadSpec, e: st_core::Experiment) -> SimReport {
+    Simulator::builder().workload(spec.clone()).max_instructions(N).experiment(e).build().run()
+}
+
+fn small_workload() -> WorkloadSpec {
+    // A scaled-down profile so the debug-build test suite stays fast.
+    WorkloadSpec::builder("e2e").seed(99).blocks(512).build()
+}
+
+#[test]
+fn every_experiment_runs_and_commits() {
+    let spec = small_workload();
+    let mut all = vec![experiments::baseline()];
+    all.extend(experiments::group_a());
+    all.extend(experiments::group_b());
+    all.extend(experiments::group_c());
+    all.extend(experiments::oracles());
+    for e in all {
+        let id = e.id;
+        let r = run(&spec, e);
+        assert!(r.perf.committed >= N, "{id} committed too few");
+        assert!(r.perf.cycles > 0, "{id} ran no cycles");
+        assert!(r.energy.energy > 0.0, "{id} burned no energy");
+        assert!(r.energy.avg_power() < 56.4, "{id} exceeded peak power");
+        assert!(r.ipc() <= 8.0, "{id} exceeded machine width");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let spec = small_workload();
+    let a = run(&spec, experiments::c2());
+    let b = run(&spec, experiments::c2());
+    assert_eq!(a.perf, b.perf);
+    assert_eq!(a.bpred, b.bpred);
+    assert_eq!(a.conf, b.conf);
+    assert!((a.energy.energy - b.energy.energy).abs() < 1e-15);
+}
+
+#[test]
+fn committed_work_is_identical_across_experiments() {
+    // Throttling changes *when* instructions execute, never *which*
+    // instructions commit: committed counts and branch outcomes agree.
+    let spec = small_workload();
+    let base = run(&spec, experiments::baseline());
+    for e in [experiments::a5(), experiments::c2(), experiments::oracle_fetch()] {
+        let id = e.id;
+        let r = run(&spec, e);
+        // The final commit cycle retires a whole group, so run(n) may
+        // overshoot by up to commit_width-1 instructions; and wrong-path
+        // BTB lookups perturb LRU state, drifting the effective mispredict
+        // count by a hair. The architectural stream itself is identical.
+        let branch_delta = r.perf.branches_committed.abs_diff(base.perf.branches_committed);
+        assert!(branch_delta <= 8, "{id} branch stream drift ({branch_delta})");
+        let delta = r.perf.mispredicts_committed.abs_diff(base.perf.mispredicts_committed);
+        assert!(delta <= 8, "{id} mispredict drift too large ({delta})");
+    }
+}
+
+#[test]
+fn throttling_reduces_wrong_path_work() {
+    let spec = small_workload();
+    let base = run(&spec, experiments::baseline());
+    let c2 = run(&spec, experiments::c2());
+    assert!(
+        c2.perf.wrong_path_fetched < base.perf.wrong_path_fetched,
+        "C2 must fetch less wrong-path work ({} vs {})",
+        c2.perf.wrong_path_fetched,
+        base.perf.wrong_path_fetched
+    );
+    assert!(c2.perf.fetch_gated_cycles > 0);
+    assert!(c2.perf.selection_blocked > 0, "no-select must engage");
+}
+
+#[test]
+fn oracle_hierarchy_is_ordered() {
+    let spec = small_workload();
+    let base = run(&spec, experiments::baseline());
+    let of = compare(&base, &run(&spec, experiments::oracle_fetch()));
+    let od = compare(&base, &run(&spec, experiments::oracle_decode()));
+    let os = compare(&base, &run(&spec, experiments::oracle_select()));
+    assert!(of.energy_savings_pct > od.energy_savings_pct);
+    assert!(od.energy_savings_pct > os.energy_savings_pct);
+    assert!(os.energy_savings_pct > 0.0);
+}
+
+#[test]
+fn deeper_pipelines_amplify_savings() {
+    let spec = small_workload();
+    let mut savings = Vec::new();
+    for depth in [6u32, 14, 28] {
+        let cfg = PipelineConfig::with_depth(depth);
+        let base = Simulator::builder()
+            .workload(spec.clone())
+            .config(cfg.clone())
+            .max_instructions(N)
+            .build()
+            .run();
+        let c2 = Simulator::builder()
+            .workload(spec.clone())
+            .config(cfg)
+            .experiment(experiments::c2())
+            .max_instructions(N)
+            .build()
+            .run();
+        savings.push(compare(&base, &c2).energy_savings_pct);
+    }
+    assert!(
+        savings[2] > savings[0],
+        "28-stage savings ({:.1}) must exceed 6-stage savings ({:.1})",
+        savings[2],
+        savings[0]
+    );
+}
+
+#[test]
+fn gating_and_throttling_both_save_energy_on_hard_workloads() {
+    let spec = st_workloads::go();
+    let base = Simulator::builder().workload(spec.clone()).max_instructions(N).build().run();
+    for e in [experiments::a7(), experiments::c2()] {
+        let id = e.id;
+        let r = Simulator::builder()
+            .workload(spec.clone())
+            .max_instructions(N)
+            .experiment(e)
+            .build()
+            .run();
+        let c = compare(&base, &r);
+        assert!(c.energy_savings_pct > 0.0, "{id} must save energy on go: {c:?}");
+    }
+}
+
+#[test]
+fn custom_policy_via_public_api() {
+    use selective_throttling::core::{BandwidthLevel, ThrottleAction, ThrottlePolicy};
+    use st_core::{Experiment, ExperimentKind};
+    let policy = ThrottlePolicy::low_only(
+        ThrottleAction::fetch(BandwidthLevel::Half),
+        ThrottleAction::fetch_decode(BandwidthLevel::Quarter, BandwidthLevel::Quarter)
+            .with_no_select(),
+    );
+    let e = Experiment { id: "X1", label: "custom", kind: ExperimentKind::Throttle(policy) };
+    let r = run(&small_workload(), e);
+    assert!(r.perf.committed >= N);
+    assert_eq!(r.experiment, "X1");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the full stack: any valid workload spec must
+//! yield a structurally sound program, a loss-free architectural walk and a
+//! pipeline that commits exactly the architectural stream.
+
+use proptest::prelude::*;
+use selective_throttling::core::{experiments, Simulator};
+use st_isa::{BranchMix, OpClass, Terminator, Walker, WorkloadSpec};
+use st_pipeline::CoreBuilder;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u64..1_000_000,
+        64u32..512,
+        0.0f64..=1.0,
+        0.0f64..=0.3,
+        prop::collection::vec(0.0f64..=1.0, 5),
+        0.02f64..=0.5,
+        (1u32..12, 0u32..24),
+        0.0f64..=0.6,
+        0.0f64..=1.0,
+    )
+        .prop_map(
+            |(seed, blocks, branch_frac, jump_frac, mix, spread, (trip_lo, trip_add), mem, bol)| {
+                WorkloadSpec::builder("prop")
+                    .seed(seed)
+                    .blocks(blocks)
+                    .branch_frac(branch_frac.min(1.0 - jump_frac))
+                    .jump_frac(jump_frac)
+                    .mix(BranchMix {
+                        loops: mix[0],
+                        patterns: mix[1],
+                        biased: mix[2],
+                        markov: mix[3],
+                        alternating: mix[4],
+                    })
+                    .hard_bias_spread(spread)
+                    .loop_trip((trip_lo, trip_lo + trip_add))
+                    .mem_frac(mem)
+                    .branch_on_load(bol)
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_are_structurally_sound(spec in arb_spec()) {
+        let p = spec.generate();
+        prop_assert_eq!(p.blocks().len() as u32, spec.n_blocks);
+        // Every terminator target is in range and every block is non-empty
+        // (Program::new validates, but re-check the invariants we rely on).
+        for (i, b) in p.blocks().iter().enumerate() {
+            prop_assert!(!b.is_empty());
+            match b.terminator {
+                Terminator::Branch { taken, not_taken, branch } => {
+                    prop_assert!(taken.index() < p.blocks().len());
+                    prop_assert!(not_taken.index() < p.blocks().len());
+                    prop_assert!(branch.index() < p.branch_count());
+                    prop_assert_eq!(b.instrs.last().unwrap().op, OpClass::Branch);
+                    // Backward edges are loops only.
+                    if taken.index() < i {
+                        let is_loop = matches!(
+                            p.branch_model(branch).behavior(),
+                            st_isa::BranchBehavior::Loop { .. }
+                        );
+                        prop_assert!(is_loop, "backward edge must be a loop branch");
+                    }
+                }
+                Terminator::Jump(t) => {
+                    prop_assert!(t.index() < p.blocks().len());
+                    prop_assert_eq!(b.instrs.last().unwrap().op, OpClass::Jump);
+                }
+                Terminator::Fallthrough(t) => {
+                    prop_assert!(t.index() < p.blocks().len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walker_emits_contiguous_pcs(spec in arb_spec()) {
+        let p = spec.generate();
+        let mut w = Walker::new(&p);
+        let mut prev_next = p.block(p.entry()).start_pc;
+        for i in 0..3_000u64 {
+            let a = w.next_instr(&p);
+            prop_assert_eq!(a.index, i);
+            prop_assert_eq!(a.pc, prev_next, "stream must be connected");
+            prop_assert!(p.instr_at(a.pc).is_some());
+            prev_next = a.next_pc;
+        }
+    }
+
+    #[test]
+    fn pipeline_commits_architectural_stream(spec in arb_spec()) {
+        let p = spec.generate();
+        let mut core = CoreBuilder::new(p.clone()).build();
+        core.enable_commit_trace();
+        core.run(2_000);
+        let trace = core.commit_trace().unwrap();
+        let mut w = Walker::new(&p);
+        for (i, &pc) in trace.iter().enumerate() {
+            let arch = w.next_instr(&p);
+            prop_assert_eq!(arch.pc, pc, "commit {} diverged", i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn throttling_never_corrupts_execution(spec in arb_spec(), aggressive in any::<bool>()) {
+        let e = if aggressive { experiments::a6() } else { experiments::c2() };
+        let n = 3_000u64;
+        let base = Simulator::builder()
+            .workload(spec.clone())
+            .max_instructions(n)
+            .build()
+            .run();
+        let thr = Simulator::builder()
+            .workload(spec)
+            .max_instructions(n)
+            .experiment(e)
+            .build()
+            .run();
+        // Same architectural work, modulo two benign artefacts: run(n) can
+        // overshoot its commit budget by up to commit_width-1 instructions
+        // (the final commit cycle retires a whole group), and wrong-path
+        // BTB lookups perturb LRU state so the effective mispredict count
+        // can drift by a hair.
+        let branch_delta = base.perf.branches_committed.abs_diff(thr.perf.branches_committed);
+        prop_assert!(branch_delta <= 8, "branch stream drift {}", branch_delta);
+        let delta = base.perf.mispredicts_committed.abs_diff(thr.perf.mispredicts_committed);
+        prop_assert!(delta <= 8, "mispredict drift {}", delta);
+        prop_assert!(thr.perf.cycles >= base.perf.committed / 8);
+        prop_assert!(thr.energy.energy > 0.0);
+    }
+}
