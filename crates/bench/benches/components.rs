@@ -150,10 +150,8 @@ fn bench_power(c: &mut Criterion) {
     let mut g = c.benchmark_group("power");
     g.throughput(Throughput::Elements(1));
     let cc3 = PowerModel::new(PowerConfig::paper_default());
-    let cc0 = PowerModel::new(PowerConfig {
-        gating: ClockGating::None,
-        ..PowerConfig::paper_default()
-    });
+    let cc0 =
+        PowerModel::new(PowerConfig { gating: ClockGating::None, ..PowerConfig::paper_default() });
     let mut activity = CycleActivity::default();
     activity.add(Unit::ICache, 1);
     activity.add(Unit::Window, 9);

@@ -1,152 +1,14 @@
-//! Design-choice ablations called out in DESIGN.md: the clock-gating style
-//! (cc3 vs cc0), the confidence-estimator training asymmetry, and the §4.3
-//! weak-counter fallback merge. Each table shows how the headline C2
-//! numbers move when one design choice is flipped.
+//! Design-choice ablations called out in DESIGN.md (clock-gating style,
+//! estimator training asymmetry, Pipeline Gating threshold), submitted
+//! to the `st-sweep` engine as batched grids.
+//!
+//! Thin wrapper over [`st_sweep::figures::ablations`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::Harness;
-use st_bpred::{SaturatingConfig, SaturatingEstimator};
-use st_core::{average_comparison, compare, experiments, Simulator};
-use st_pipeline::PipelineConfig;
-use st_power::{ClockGating, PowerConfig};
-use st_report::Table;
+use st_sweep::figures::{ablations, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!("design-choice ablations, {} instructions/workload\n", harness.instructions);
-
-    // ------------------------------------------------------------------
-    // 1. Clock gating: under cc0 (no gating) activity does not matter, so
-    //    throttling can only save energy through *time* — and it costs
-    //    time, so savings must invert. This is why the paper (and Wattch)
-    //    evaluate under cc3.
-    // ------------------------------------------------------------------
-    let mut t = Table::new(vec!["power model", "C2 speedup", "C2 energy %", "C2 E-D %"])
-        .with_title("ablation 1: clock-gating style (paper uses cc3)");
-    for (name, gating) in [
-        ("cc3 (10% idle floor)", ClockGating::paper_default()),
-        ("cc0 (no gating)", ClockGating::None),
-    ] {
-        let power = PowerConfig { gating, ..PowerConfig::paper_default() };
-        let mut cmps = Vec::new();
-        for info in &harness.workloads {
-            let base = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(config.clone())
-                .power(power.clone())
-                .max_instructions(harness.instructions)
-                .build()
-                .run();
-            let c2 = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(config.clone())
-                .power(power.clone())
-                .experiment(experiments::c2())
-                .max_instructions(harness.instructions)
-                .build()
-                .run();
-            cmps.push(compare(&base, &c2));
-        }
-        let avg = average_comparison(&cmps);
-        t.row(vec![
-            name.to_string(),
-            format!("{:.3}", avg.speedup),
-            format!("{:+.1}", avg.energy_savings_pct),
-            format!("{:+.1}", avg.ed_improvement_pct),
-        ]);
-    }
-    println!("{}", t.render());
-    harness.save_csv(&t, "ablation_gating");
-
-    // ------------------------------------------------------------------
-    // 2. Estimator training asymmetry: the coverage/precision frontier
-    //    that sets where C2 lands between "saves a lot, slows a lot" and
-    //    "saves less, barely slows".
-    // ------------------------------------------------------------------
-    let mut t = Table::new(vec![
-        "estimator config",
-        "C2 speedup",
-        "C2 energy %",
-        "C2 E-D %",
-        "SPEC %",
-        "PVN %",
-    ])
-    .with_title("ablation 2: confidence-estimator training (default: inc2/dec2, no merge)");
-    let configs = [
-        ("inc2/dec1 (sticky labels)", SaturatingConfig {
-            dec_on_correct: 1,
-            ..SaturatingConfig::paper_default()
-        }),
-        ("inc2/dec2 (default)", SaturatingConfig::paper_default()),
-        ("inc2/dec2 + weak merge", SaturatingConfig {
-            merge_weak: true,
-            ..SaturatingConfig::paper_default()
-        }),
-        ("inc2/dec2 + history index", SaturatingConfig {
-            use_history: true,
-            ..SaturatingConfig::paper_default()
-        }),
-    ];
-    for (name, est_cfg) in configs {
-        let mut cmps = Vec::new();
-        let mut spec_sum = 0.0;
-        let mut pvn_sum = 0.0;
-        for info in &harness.workloads {
-            let base = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(config.clone())
-                .max_instructions(harness.instructions)
-                .build()
-                .run();
-            let c2 = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(config.clone())
-                .experiment(experiments::c2())
-                .max_instructions(harness.instructions)
-                .build_with_estimator(Box::new(SaturatingEstimator::new(est_cfg)))
-                .run();
-            spec_sum += c2.conf.spec();
-            pvn_sum += c2.conf.pvn();
-            cmps.push(compare(&base, &c2));
-        }
-        let n = harness.workloads.len() as f64;
-        let avg = average_comparison(&cmps);
-        t.row(vec![
-            name.to_string(),
-            format!("{:.3}", avg.speedup),
-            format!("{:+.1}", avg.energy_savings_pct),
-            format!("{:+.1}", avg.ed_improvement_pct),
-            format!("{:.1}", 100.0 * spec_sum / n),
-            format!("{:.1}", 100.0 * pvn_sum / n),
-        ]);
-    }
-    println!("{}", t.render());
-    harness.save_csv(&t, "ablation_estimator");
-
-    // ------------------------------------------------------------------
-    // 3. Gating threshold sensitivity for the Pipeline Gating baseline
-    //    (the paper's is 2; Manne et al. reported 2 as the sweet spot).
-    // ------------------------------------------------------------------
-    let mut t = Table::new(vec!["gating threshold", "speedup", "energy %", "E-D %"])
-        .with_title("ablation 3: Pipeline Gating threshold (paper: 2)");
-    for threshold in [1u32, 2, 3, 4] {
-        let e = st_core::Experiment {
-            id: "A7",
-            label: "gating",
-            kind: st_core::ExperimentKind::Gating { threshold },
-        };
-        let baselines = harness.run_baselines(&config);
-        let reports = harness.run_all(&e, &config);
-        let cmps: Vec<_> =
-            baselines.iter().zip(&reports).map(|(b, r)| compare(b, r)).collect();
-        let avg = average_comparison(&cmps);
-        t.row(vec![
-            threshold.to_string(),
-            format!("{:.3}", avg.speedup),
-            format!("{:+.1}", avg.energy_savings_pct),
-            format!("{:+.1}", avg.ed_improvement_pct),
-        ]);
-    }
-    println!("{}", t.render());
-    harness.save_csv(&t, "ablation_gating_threshold");
+    let engine = SweepEngine::auto();
+    ablations(&FigureCtx::from_env(&engine));
 }

@@ -1,30 +1,27 @@
-//! Runs the complete reproduction: every table and figure in sequence.
-//! Individual binaries (`table1`, `fig3_fetch`, …) run the pieces.
+//! Runs the complete reproduction: every table and figure in sequence
+//! against **one shared sweep engine**, so overlapping configuration
+//! points (the eight baselines, C2, the gating rows) are simulated once
+//! and served from the result cache everywhere else. Equivalent to
+//! `st repro` without the perf artifact; individual binaries (`table1`,
+//! `fig3_fetch`, …) run the pieces.
 
-use std::process::Command;
+use st_sweep::figures::{FigureCtx, ALL_FIGURES};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let bins = [
-        "table1",
-        "fig1_oracle",
-        "table2_workloads",
-        "conf_metrics",
-        "fig3_fetch",
-        "fig4_decode",
-        "fig5_select",
-        "fig6_depth",
-        "fig7_size",
-    ];
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("bin directory").to_path_buf();
-    for bin in bins {
+    let engine = SweepEngine::auto();
+    let ctx = FigureCtx::from_env(&engine);
+    for (name, generate) in ALL_FIGURES {
         println!("==================================================================");
-        println!("== {bin}");
+        println!("== {name}");
         println!("==================================================================");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
+        generate(&ctx);
     }
-    println!("all experiments complete; CSVs in results/");
+    let stats = engine.stats();
+    println!(
+        "all experiments complete; CSVs in {}/ ({} distinct points simulated, {:.1}% cache hit rate)",
+        ctx.out_dir.display(),
+        stats.simulated,
+        100.0 * stats.cache.hit_rate()
+    );
 }

@@ -1,76 +1,14 @@
-//! Regenerates the **§4.3 estimator-quality comparison**: SPEC and PVN of
-//! the BPRU-style estimator versus JRS over the eight workloads.
+//! Regenerates the **§4.3 estimator-quality comparison** (SPEC and PVN
+//! of the BPRU-style estimator versus JRS) by submitting both estimator
+//! variants per workload to the `st-sweep` engine.
 //!
-//! Paper values: BPRU-style SPEC ≈ 60 %, PVN ≈ 45 %; JRS (MDC 12)
-//! SPEC ≈ 90 %, PVN ≈ 24 %.
+//! Thin wrapper over [`st_sweep::figures::conf_metrics`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::Harness;
-use st_bpred::{JrsEstimator, SaturatingEstimator};
-use st_core::Simulator;
-use st_pipeline::PipelineConfig;
-use st_report::Table;
+use st_sweep::figures::{conf_metrics, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "§4.3 estimator quality: SPEC/PVN over committed branches, {} instructions/workload\n",
-        harness.instructions
-    );
-    let mut t = Table::new(vec![
-        "workload",
-        "BPRU SPEC %",
-        "BPRU PVN %",
-        "BPRU low-label %",
-        "JRS SPEC %",
-        "JRS PVN %",
-        "JRS low-label %",
-    ])
-    .with_title("confidence estimator quality (paper: BPRU 60/45, JRS 90/24)");
-
-    let mut sums = [0.0f64; 6];
-    for info in &harness.workloads {
-        let run = |jrs: bool| {
-            let est: Box<dyn st_bpred::ConfidenceEstimator> = if jrs {
-                Box::new(JrsEstimator::with_table_bytes(config.estimator_bytes))
-            } else {
-                Box::new(SaturatingEstimator::with_table_bytes(config.estimator_bytes))
-            };
-            Simulator::builder()
-                .workload(info.spec.clone())
-                .config(config.clone())
-                .max_instructions(harness.instructions)
-                .build_with_estimator(est)
-                .run()
-        };
-        let bpru = run(false);
-        let jrs = run(true);
-        let vals = [
-            100.0 * bpru.conf.spec(),
-            100.0 * bpru.conf.pvn(),
-            100.0 * bpru.conf.low_labeled() as f64 / bpru.conf.total().max(1) as f64,
-            100.0 * jrs.conf.spec(),
-            100.0 * jrs.conf.pvn(),
-            100.0 * jrs.conf.low_labeled() as f64 / jrs.conf.total().max(1) as f64,
-        ];
-        for (s, v) in sums.iter_mut().zip(vals) {
-            *s += v;
-        }
-        t.row(
-            std::iter::once(info.spec.name.clone())
-                .chain(vals.iter().map(|v| format!("{v:.1}")))
-                .collect(),
-        );
-    }
-    let n = harness.workloads.len() as f64;
-    t.row(
-        std::iter::once("Average".to_string())
-            .chain(sums.iter().map(|s| format!("{:.1}", s / n)))
-            .collect(),
-    );
-    println!("{}", t.render());
-    println!(
-        "paper averages: BPRU-style SPEC 60.0 PVN 45.0 | JRS SPEC 90.0 PVN 24.0\n"
-    );
-    harness.save_csv(&t, "conf_metrics");
+    let engine = SweepEngine::auto();
+    conf_metrics(&FigureCtx::from_env(&engine));
 }

@@ -1,68 +1,13 @@
-//! Regenerates **Figure 1**: the oracle fetch / decode / select potential
-//! study — average speedup, power savings, energy savings and E-D
-//! improvement for each oracle mode.
+//! Regenerates **Figure 1** (oracle fetch / decode / select potential
+//! study) by submitting its grid to the `st-sweep` engine.
 //!
-//! Paper values (averages over the eight benchmarks): oracle fetch saves
-//! 21 % power / 24 % energy / 28 % E-D with a 5 % speedup; oracle decode
-//! 13.7 % power; oracle select 8.7 % power.
+//! Thin wrapper over [`st_sweep::figures::fig1_oracle`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::{run_panel, Harness};
-use st_core::experiments;
-use st_pipeline::PipelineConfig;
-use st_report::{BarChart, Table};
-
-const PAPER: [(&str, f64, f64, f64, f64); 3] = [
-    // (id, speedup %, power %, energy %, E-D %)
-    ("OF", 5.0, 21.0, 24.0, 28.0),
-    ("OD", 3.0, 13.7, 16.0, 19.0), // decode row: power published, rest approximate
-    ("OS", 1.0, 8.7, 10.0, 11.0),  // select row: power published, rest approximate
-];
+use st_sweep::figures::{fig1_oracle, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "Figure 1 reproduction: oracle modes, {} instructions/workload\n",
-        harness.instructions
-    );
-    let baselines = harness.run_baselines(&config);
-    let rows = run_panel(
-        &harness,
-        &config,
-        &baselines,
-        &[experiments::oracle_fetch(), experiments::oracle_decode(), experiments::oracle_select()],
-    );
-
-    let mut t = Table::new(vec![
-        "oracle",
-        "speedup % (paper~)",
-        "speedup % (meas)",
-        "power % (paper)",
-        "power % (meas)",
-        "energy % (paper~)",
-        "energy % (meas)",
-        "E-D % (paper~)",
-        "E-D % (meas)",
-    ])
-    .with_title("Figure 1: oracle fetch/decode/select savings (averages)");
-    let mut chart = BarChart::new("Figure 1: measured energy savings by oracle mode", "%");
-    for (row, (id, p_sp, p_pw, p_en, p_ed)) in rows.iter().zip(PAPER) {
-        debug_assert_eq!(row.id, id);
-        let sp = (row.average.speedup - 1.0) * 100.0;
-        t.row(vec![
-            row.label.clone(),
-            format!("{p_sp:.1}"),
-            format!("{sp:.1}"),
-            format!("{p_pw:.1}"),
-            format!("{:.1}", row.average.power_savings_pct),
-            format!("{p_en:.1}"),
-            format!("{:.1}", row.average.energy_savings_pct),
-            format!("{p_ed:.1}"),
-            format!("{:.1}", row.average.ed_improvement_pct),
-        ]);
-        chart.bar(row.label.clone(), row.average.energy_savings_pct);
-    }
-    println!("{}", t.render());
-    println!("{}", chart.render());
-    harness.save_csv(&t, "fig1_oracle");
+    let engine = SweepEngine::auto();
+    fig1_oracle(&FigureCtx::from_env(&engine));
 }

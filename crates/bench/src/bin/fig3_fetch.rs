@@ -1,20 +1,13 @@
-//! Regenerates **Figure 3**: the fetch-throttling study (experiments
-//! A1–A6 plus the Pipeline Gating baseline A7), reporting per-benchmark
-//! and average speedup, power savings, energy savings and E-D improvement.
+//! Regenerates **Figure 3** (fetch throttling A1–A7) by submitting its
+//! grid to the `st-sweep` engine.
+//!
+//! Thin wrapper over [`st_sweep::figures::fig3_fetch`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::{emit_figure, print_paper_comparison, run_panel, Harness};
-use st_core::experiments;
-use st_pipeline::PipelineConfig;
+use st_sweep::figures::{fig3_fetch, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "Figure 3 reproduction: fetch throttling, {} instructions/workload\n",
-        harness.instructions
-    );
-    let baselines = harness.run_baselines(&config);
-    let rows = run_panel(&harness, &config, &baselines, &experiments::group_a());
-    emit_figure(&harness, "fig3", &rows);
-    print_paper_comparison(&rows);
+    let engine = SweepEngine::auto();
+    fig3_fetch(&FigureCtx::from_env(&engine));
 }

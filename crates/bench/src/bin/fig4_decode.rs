@@ -1,20 +1,13 @@
-//! Regenerates **Figure 4**: the decode-throttling study (B1–B8 plus
-//! Pipeline Gating B9). In every experiment a VLC branch stalls fetch;
-//! the LC action varies fetch and decode bandwidth.
+//! Regenerates **Figure 4** (decode throttling B1–B9) by submitting its
+//! grid to the `st-sweep` engine.
+//!
+//! Thin wrapper over [`st_sweep::figures::fig4_decode`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::{emit_figure, print_paper_comparison, run_panel, Harness};
-use st_core::experiments;
-use st_pipeline::PipelineConfig;
+use st_sweep::figures::{fig4_decode, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "Figure 4 reproduction: decode throttling, {} instructions/workload\n",
-        harness.instructions
-    );
-    let baselines = harness.run_baselines(&config);
-    let rows = run_panel(&harness, &config, &baselines, &experiments::group_b());
-    emit_figure(&harness, "fig4", &rows);
-    print_paper_comparison(&rows);
+    let engine = SweepEngine::auto();
+    fig4_decode(&FigureCtx::from_env(&engine));
 }

@@ -1,37 +1,13 @@
-//! Regenerates **Figure 5**: the selection-throttling study — C1/C3/C5
-//! (best fetch/decode configurations) against C2/C4/C6 (the same plus the
-//! no-select bit) and Pipeline Gating C7.
+//! Regenerates **Figure 5** (selection throttling C1–C7 plus the
+//! no-select ablation) by submitting its grid to the `st-sweep` engine.
 //!
-//! The paper's headline: C2 reaches 13.5 % average energy savings (up to
-//! 19.2 % for go) at 8.5 % E-D improvement, versus Pipeline Gating's
-//! 11.0 % / 3.5 %.
+//! Thin wrapper over [`st_sweep::figures::fig5_select`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::{emit_figure, print_paper_comparison, run_panel, Harness};
-use st_core::experiments;
-use st_pipeline::PipelineConfig;
+use st_sweep::figures::{fig5_select, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "Figure 5 reproduction: selection throttling, {} instructions/workload\n",
-        harness.instructions
-    );
-    let baselines = harness.run_baselines(&config);
-    let rows = run_panel(&harness, &config, &baselines, &experiments::group_c());
-    emit_figure(&harness, "fig5", &rows);
-    print_paper_comparison(&rows);
-
-    // The no-select ablation the paper calls out: C2 vs C1, C4 vs C3, C6 vs C5.
-    println!("selection-throttling ablation (energy savings %, average):");
-    for (with, without) in [("C2", "C1"), ("C4", "C3"), ("C6", "C5")] {
-        let w = rows.iter().find(|r| r.id == with).expect("row exists");
-        let wo = rows.iter().find(|r| r.id == without).expect("row exists");
-        println!(
-            "  {without} {:.1} -> {with} {:.1} (no-select adds {:+.1}; paper: about +2)",
-            wo.average.energy_savings_pct,
-            w.average.energy_savings_pct,
-            w.average.energy_savings_pct - wo.average.energy_savings_pct
-        );
-    }
+    let engine = SweepEngine::auto();
+    fig5_select(&FigureCtx::from_env(&engine));
 }

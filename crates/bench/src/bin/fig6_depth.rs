@@ -1,57 +1,14 @@
-//! Regenerates **Figure 6**: pipeline-depth sensitivity of the best
-//! configuration (C2), sweeping the depth from 6 to 28 stages.
+//! Regenerates **Figure 6** (pipeline-depth sensitivity of C2, 6–28
+//! stages) by submitting the whole depth × workload grid to the
+//! `st-sweep` engine as one batch.
 //!
-//! Paper trend: speedup stays within 5–6 % of baseline at every depth
-//! while energy savings grow from 11 % (6 stages) through 13.5 %
-//! (14 stages) to 17.2 % (28 stages), and E-D improvement from 5.4 %
-//! through 8.5 % to 12 %.
+//! Thin wrapper over [`st_sweep::figures::fig6_depth`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::{run_panel, Harness};
-use st_core::experiments;
-use st_pipeline::PipelineConfig;
-use st_report::Table;
-
-const PAPER: [(u32, f64, f64); 3] = [(6, 11.0, 5.4), (14, 13.5, 8.5), (28, 17.2, 12.0)];
+use st_sweep::figures::{fig6_depth, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let depths = [6u32, 10, 14, 18, 22, 28];
-    println!(
-        "Figure 6 reproduction: pipeline depth sweep {:?}, {} instructions/workload\n",
-        depths, harness.instructions
-    );
-    let mut t = Table::new(vec![
-        "depth",
-        "speedup",
-        "power savings %",
-        "energy savings %",
-        "E-D improv %",
-        "baseline wasted %",
-    ])
-    .with_title("Figure 6: C2 vs baseline across pipeline depths (averages)");
-
-    for depth in depths {
-        let config = PipelineConfig::with_depth(depth);
-        let baselines = harness.run_baselines(&config);
-        let rows = run_panel(&harness, &config, &baselines, &[experiments::c2()]);
-        let avg = &rows[0].average;
-        let wasted = 100.0
-            * baselines.iter().map(|b| b.energy.wasted_frac()).sum::<f64>()
-            / baselines.len() as f64;
-        t.row(vec![
-            depth.to_string(),
-            format!("{:.3}", avg.speedup),
-            format!("{:.1}", avg.power_savings_pct),
-            format!("{:.1}", avg.energy_savings_pct),
-            format!("{:.1}", avg.ed_improvement_pct),
-            format!("{:.1}", wasted),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("paper anchors (depth, energy %, E-D %):");
-    for (d, e, ed) in PAPER {
-        println!("  {d:>2} stages: {e:.1} / {ed:.1}");
-    }
-    println!();
-    harness.save_csv(&t, "fig6_depth");
+    let engine = SweepEngine::auto();
+    fig6_depth(&FigureCtx::from_env(&engine));
 }

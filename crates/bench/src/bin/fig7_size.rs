@@ -1,80 +1,14 @@
-//! Regenerates **Figure 7**: predictor + estimator size sensitivity of C2.
+//! Regenerates **Figure 7** (predictor + estimator size sensitivity of
+//! C2 at equal total hardware) by submitting the size × workload grid to
+//! the `st-sweep` engine as one batch.
 //!
-//! Following §5.3.2, each point compares equal total hardware: the
-//! baseline runs a gshare of the full size; Selective Throttling devotes
-//! half to the gshare and half to the confidence estimator. Paper trend:
-//! performance degradation shrinks with size, power savings shrink
-//! (20.3 % at 8 KB to 16.5 % at 64 KB), and energy/E-D stay nearly flat
-//! (11–12 % energy, 4–5 % E-D).
+//! Thin wrapper over [`st_sweep::figures::fig7_size`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::Harness;
-use st_core::{average_comparison, compare, experiments, Simulator};
-use st_pipeline::PipelineConfig;
-use st_report::Table;
+use st_sweep::figures::{fig7_size, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let sizes_kb = [8usize, 16, 32, 64];
-    println!(
-        "Figure 7 reproduction: total predictor+estimator size sweep {:?} KB, {} instructions/workload\n",
-        sizes_kb, harness.instructions
-    );
-    let mut t = Table::new(vec![
-        "total size KB",
-        "speedup",
-        "power savings %",
-        "energy savings %",
-        "E-D improv %",
-        "baseline mpr %",
-        "C2 mpr %",
-    ])
-    .with_title("Figure 7: C2 vs equal-size baseline (averages)");
-
-    for kb in sizes_kb {
-        let total = kb * 1024;
-        // Baseline: the whole budget goes to the predictor.
-        let mut base_cfg = PipelineConfig::paper_default();
-        base_cfg.predictor_bytes = total;
-        base_cfg.estimator_bytes = total / 2; // present but unused by the null controller
-        // Selective Throttling: half predictor, half estimator.
-        let mut st_cfg = PipelineConfig::paper_default();
-        st_cfg.predictor_bytes = total / 2;
-        st_cfg.estimator_bytes = total / 2;
-
-        let mut comparisons = Vec::new();
-        let mut base_mpr = 0.0;
-        let mut c2_mpr = 0.0;
-        for info in &harness.workloads {
-            let base = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(base_cfg.clone())
-                .max_instructions(harness.instructions)
-                .build()
-                .run();
-            let c2 = Simulator::builder()
-                .workload(info.spec.clone())
-                .config(st_cfg.clone())
-                .experiment(experiments::c2())
-                .max_instructions(harness.instructions)
-                .build()
-                .run();
-            base_mpr += base.perf.mispredict_rate();
-            c2_mpr += c2.perf.mispredict_rate();
-            comparisons.push(compare(&base, &c2));
-        }
-        let n = harness.workloads.len() as f64;
-        let avg = average_comparison(&comparisons);
-        t.row(vec![
-            kb.to_string(),
-            format!("{:.3}", avg.speedup),
-            format!("{:.1}", avg.power_savings_pct),
-            format!("{:.1}", avg.energy_savings_pct),
-            format!("{:.1}", avg.ed_improvement_pct),
-            format!("{:.1}", 100.0 * base_mpr / n),
-            format!("{:.1}", 100.0 * c2_mpr / n),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("paper anchors: power 20.3 % (8 KB) -> 16.5 % (64 KB); energy 11-12 %; E-D 4-5 %\n");
-    harness.save_csv(&t, "fig7_size");
+    let engine = SweepEngine::auto();
+    fig7_size(&FigureCtx::from_env(&engine));
 }

@@ -1,90 +1,14 @@
-//! Regenerates **Table 1**: overall power breakdown per unit and the
-//! fraction of overall power wasted by mis-speculated instructions.
+//! Regenerates **Table 1** (power breakdown per unit and the fraction of
+//! overall power wasted by mis-speculation) by submitting the baseline
+//! grid to the `st-sweep` engine.
 //!
-//! The paper reports 56.4 W total with 27.9 % wasted; unit maxima are
-//! anchored to the published breakdown (see `st-power`), so the measured
-//! *activity-weighted* shares and per-unit waste are the reproduction
-//! targets here.
+//! Thin wrapper over [`st_sweep::figures::table1`]; `st repro`
+//! regenerates every figure in one shared-cache pass.
 
-use st_bench::Harness;
-use st_pipeline::PipelineConfig;
-use st_power::Unit;
-use st_report::Table;
-
-/// Paper Table 1 values: (unit, overall-share %, wasted-of-overall %).
-const PAPER: [(&str, f64, f64); 11] = [
-    ("icache", 10.0, 6.4),
-    ("bpred", 3.8, 1.4),
-    ("regfile", 1.6, 0.2),
-    ("rename", 1.1, 0.5),
-    ("window", 18.2, 5.6),
-    ("lsq", 1.9, 0.2),
-    ("alu", 8.7, 1.0),
-    ("dcache", 10.6, 1.1),
-    ("dcache2", 0.7, 0.0),
-    ("resultbus", 9.5, 1.9),
-    ("clock", 33.8, 9.5),
-];
+use st_sweep::figures::{table1, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    let config = PipelineConfig::paper_default();
-    println!(
-        "Table 1 reproduction: {} workloads x {} instructions, 14-stage pipeline, cc3\n",
-        harness.workloads.len(),
-        harness.instructions
-    );
-    let reports = harness.run_baselines(&config);
-
-    // Average unit shares and wasted fractions across workloads.
-    let n = reports.len() as f64;
-    let mut t = Table::new(vec![
-        "unit",
-        "share % (paper)",
-        "share % (measured)",
-        "wasted % of overall (paper)",
-        "wasted % of overall (measured)",
-    ])
-    .with_title("Table 1: power breakdown and mis-speculation waste");
-    let mut total_wasted = 0.0;
-    for (unit, (name, p_share, p_waste)) in Unit::all().iter().zip(PAPER) {
-        debug_assert_eq!(unit.name(), name);
-        let share =
-            100.0 * reports.iter().map(|r| r.energy.unit_share(*unit)).sum::<f64>() / n;
-        let waste = 100.0
-            * reports.iter().map(|r| r.energy.unit_wasted_of_total(*unit)).sum::<f64>()
-            / n;
-        total_wasted += waste;
-        t.row(vec![
-            name.to_string(),
-            format!("{p_share:.1}"),
-            format!("{share:.1}"),
-            format!("{p_waste:.1}"),
-            format!("{waste:.1}"),
-        ]);
-    }
-    let avg_power = reports.iter().map(|r| r.energy.avg_power()).sum::<f64>() / n;
-    t.row(vec![
-        "TOTAL".into(),
-        "100.0".into(),
-        format!("({avg_power:.1} W avg)"),
-        "27.9".into(),
-        format!("{total_wasted:.1}"),
-    ]);
-    println!("{}", t.render());
-    harness.save_csv(&t, "table1");
-
-    let mut aux = Table::new(vec!["workload", "IPC", "mpr %", "wrong-path fetch %", "wasted %"])
-        .with_title("per-workload baseline detail");
-    for r in &reports {
-        aux.row(vec![
-            r.workload.clone(),
-            format!("{:.3}", r.ipc()),
-            format!("{:.1}", 100.0 * r.perf.mispredict_rate()),
-            format!("{:.1}", 100.0 * r.perf.wrong_path_fetch_frac()),
-            format!("{:.1}", 100.0 * r.energy.wasted_frac()),
-        ]);
-    }
-    println!("{}", aux.render());
-    harness.save_csv(&aux, "table1_detail");
+    let engine = SweepEngine::auto();
+    table1(&FigureCtx::from_env(&engine));
 }

@@ -1,44 +1,13 @@
-//! Regenerates **Table 2**: benchmark characteristics — with the paper's
-//! published instruction/branch counts and gshare-8KB misprediction rate
-//! next to our synthetic stand-ins' measured values.
+//! Regenerates **Table 2** (benchmark characteristics: paper-published
+//! values next to the synthetic stand-ins' measured miss rates).
+//!
+//! Thin wrapper over [`st_sweep::figures::table2_workloads`] (pure
+//! measurement — one thread per workload, no simulation jobs).
 
-use st_bench::Harness;
-use st_report::Table;
-use st_workloads::measure_gshare_miss_rate_warm;
+use st_sweep::figures::{table2_workloads, FigureCtx};
+use st_sweep::SweepEngine;
 
 fn main() {
-    let harness = Harness::from_env();
-    println!("Table 2 reproduction: workload characteristics\n");
-    let mut t = Table::new(vec![
-        "benchmark",
-        "suite",
-        "paper instr (M)",
-        "paper cond.br (M)",
-        "paper gshare-8KB miss %",
-        "measured miss %",
-        "static instrs",
-        "branch/instr",
-    ])
-    .with_title("Table 2: benchmark characteristics (paper vs synthetic stand-in)");
-
-    for info in &harness.workloads {
-        let program = info.spec.generate();
-        // Warm measurement matching the calibration protocol.
-        let measured = measure_gshare_miss_rate_warm(&info.spec, 400_000, 800_000, 8 * 1024);
-        // Count branch density over a window of the committed stream.
-        let mut walker = st_isa::Walker::new(&program);
-        let branches = walker.skip(&program, 200_000);
-        t.row(vec![
-            info.spec.name.clone(),
-            info.suite.to_string(),
-            info.paper_instructions_m.to_string(),
-            info.paper_branches_m.to_string(),
-            format!("{:.1}", 100.0 * info.paper_miss_rate),
-            format!("{:.1}", 100.0 * measured),
-            program.instr_count().to_string(),
-            format!("{:.3}", branches as f64 / 200_000.0),
-        ]);
-    }
-    println!("{}", t.render());
-    harness.save_csv(&t, "table2");
+    let engine = SweepEngine::auto();
+    table2_workloads(&FigureCtx::from_env(&engine));
 }

@@ -16,25 +16,35 @@
 //! | `fig7_size` | Figure 7 (predictor/estimator size sensitivity) |
 //! | `all_experiments` | everything above, in sequence |
 //!
-//! Each binary prints paper-style rows next to the paper's published
-//! values and writes a CSV under `results/`. Runs are deterministic; the
-//! per-run instruction budget comes from `ST_BENCH_INSTR` (default
-//! 200 000) so CI can run quick sweeps and workstations deep ones.
+//! Since the `st-sweep` engine landed, every binary is a thin wrapper
+//! that submits its grid to [`st_sweep::figures`] — one shared
+//! [`SweepEngine`] per process shards simulations across a worker pool
+//! and memoises repeated configuration points. `st repro` (in
+//! `st-sweep`) runs all of the figures against a single engine, which is
+//! the fastest way to regenerate the whole paper. The [`Harness`] here
+//! remains as the stable library API: same shape as the pre-sweep
+//! harness, now backed by the engine.
+//!
+//! Runs are deterministic for any worker count; the per-run instruction
+//! budget comes from `ST_BENCH_INSTR` (default 200 000) so CI can run
+//! quick sweeps and workstations deep ones.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::thread;
 
-use st_core::{compare, Comparison, Experiment, SimReport, Simulator};
+use st_core::{compare, Comparison, Experiment, SimReport};
 use st_pipeline::PipelineConfig;
 use st_report::Table;
+use st_sweep::figures::FigureCtx;
+use st_sweep::{JobSpec, SweepEngine};
 use st_workloads::WorkloadInfo;
 
+pub use st_sweep::figures::{paper_averages, print_paper_comparison, PanelRow, PaperAverage};
+
 /// Harness configuration shared by all experiment binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Harness {
     /// Dynamic instruction budget per run.
     pub instructions: u64,
@@ -42,48 +52,55 @@ pub struct Harness {
     pub workloads: Vec<WorkloadInfo>,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    engine: SweepEngine,
 }
 
 impl Harness {
     /// Builds the default harness: the eight paper workloads, instruction
-    /// budget from `ST_BENCH_INSTR` (default 200 000), CSVs in `results/`.
+    /// budget from `ST_BENCH_INSTR` (default 200 000), CSVs in `results/`,
+    /// a worker pool sized to the hardware.
     #[must_use]
     pub fn from_env() -> Harness {
-        let instructions = std::env::var("ST_BENCH_INSTR")
-            .ok()
-            .and_then(|v| v.replace('_', "").parse().ok())
-            .unwrap_or(200_000);
-        Harness {
-            instructions,
-            workloads: st_workloads::all(),
-            out_dir: PathBuf::from("results"),
+        let engine = SweepEngine::auto();
+        // One source of truth for the env-var parsing and defaults.
+        let defaults = FigureCtx::from_env(&engine);
+        let (instructions, workloads, out_dir) =
+            (defaults.instructions, defaults.workloads, defaults.out_dir);
+        Harness { instructions, workloads, out_dir, engine }
+    }
+
+    /// The sweep engine backing this harness (shared result cache).
+    #[must_use]
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
+    /// A [`FigureCtx`] view of this harness for `st_sweep::figures`.
+    #[must_use]
+    pub fn ctx(&self) -> FigureCtx<'_> {
+        FigureCtx {
+            engine: &self.engine,
+            instructions: self.instructions,
+            workloads: self.workloads.clone(),
+            out_dir: self.out_dir.clone(),
         }
     }
 
-    /// Runs one experiment over all workloads in parallel, returning
-    /// reports keyed by workload name (in workload order).
+    /// Runs one experiment over all workloads through the sweep engine,
+    /// returning reports in workload order. Repeated configuration points
+    /// are served from the engine's cache.
     #[must_use]
     pub fn run_all(&self, experiment: &Experiment, config: &PipelineConfig) -> Vec<SimReport> {
-        let handles: Vec<_> = self
+        let jobs: Vec<JobSpec> = self
             .workloads
             .iter()
             .map(|info| {
-                let spec = info.spec.clone();
-                let experiment = experiment.clone();
-                let config = config.clone();
-                let n = self.instructions;
-                thread::spawn(move || {
-                    Simulator::builder()
-                        .workload(spec)
-                        .config(config)
-                        .experiment(experiment)
-                        .max_instructions(n)
-                        .build()
-                        .run()
-                })
+                JobSpec::new(info.spec.clone(), self.instructions)
+                    .with_config(config.clone())
+                    .with_experiment(experiment.clone())
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+        self.engine.run(&jobs).into_iter().map(|r| (*r).clone()).collect()
     }
 
     /// Runs the baseline over all workloads.
@@ -95,6 +112,8 @@ impl Harness {
     /// Writes a table to `results/<name>.csv` and prints any I/O problem
     /// to stderr without failing the experiment.
     pub fn save_csv(&self, table: &Table, name: &str) {
+        // Direct write: building a FigureCtx view here would clone the
+        // whole workload list just to join a path.
         let path = self.out_dir.join(format!("{name}.csv"));
         if let Err(e) = st_report::write_csv(table, &path) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -102,20 +121,6 @@ impl Harness {
             println!("  [csv] {}", path.display());
         }
     }
-}
-
-/// One experiment's per-benchmark comparisons plus the average, as used by
-/// the Figure 3/4/5 panels.
-#[derive(Debug, Clone)]
-pub struct PanelRow {
-    /// Experiment id (e.g. "A5").
-    pub id: String,
-    /// Figure legend label.
-    pub label: String,
-    /// Per-workload comparisons, in workload order.
-    pub per_workload: Vec<(String, Comparison)>,
-    /// Arithmetic-mean comparison (the paper's "Average" bars).
-    pub average: Comparison,
 }
 
 /// Runs a whole experiment group against a shared baseline and produces
@@ -136,8 +141,9 @@ pub fn run_panel(
                 .zip(&reports)
                 .map(|(b, r)| (b.workload.clone(), compare(b, r)))
                 .collect();
-            let average =
-                st_core::average_comparison(&per_workload.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+            let average = st_core::average_comparison(
+                &per_workload.iter().map(|(_, c)| *c).collect::<Vec<_>>(),
+            );
             PanelRow { id: e.id.to_string(), label: e.label.to_string(), per_workload, average }
         })
         .collect()
@@ -152,113 +158,13 @@ pub fn panel_table(
     metric: impl Fn(&Comparison) -> f64,
     unit: &str,
 ) -> Table {
-    let mut headers = vec!["exp".to_string(), "policy".to_string()];
-    if let Some(first) = rows.first() {
-        headers.extend(first.per_workload.iter().map(|(w, _)| w.clone()));
-    }
-    headers.push("Average".to_string());
-    let mut t = Table::new(headers).with_title(format!("{title} ({unit})"));
-    for row in rows {
-        let mut cells = vec![row.id.clone(), row.label.clone()];
-        cells.extend(row.per_workload.iter().map(|(_, c)| format!("{:.1}", metric(c))));
-        cells.push(format!("{:.1}", metric(&row.average)));
-        t.row(cells);
-    }
-    t
+    st_sweep::figures::panel_table(title, rows, metric, 1, unit)
 }
 
 /// The four metric panels of a Figure 3/4/5-style figure, printed and
 /// saved under `results/`.
 pub fn emit_figure(harness: &Harness, fig: &str, rows: &[PanelRow]) {
-    let speedup = panel_table(
-        &format!("{fig}: speedup (relative performance, 1.0 = baseline)"),
-        rows,
-        |c| c.speedup,
-        "x",
-    );
-    // Speedup prints with more precision than the percent panels.
-    let mut speedup_precise = Table::new(
-        std::iter::once("exp".to_string())
-            .chain(std::iter::once("policy".to_string()))
-            .chain(rows.first().map(|r| r.per_workload.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>()).unwrap_or_default())
-            .chain(std::iter::once("Average".to_string()))
-            .collect::<Vec<_>>(),
-    )
-    .with_title(format!("{fig}: speedup (relative performance, 1.0 = baseline)"));
-    for row in rows {
-        let mut cells = vec![row.id.clone(), row.label.clone()];
-        cells.extend(row.per_workload.iter().map(|(_, c)| format!("{:.3}", c.speedup)));
-        cells.push(format!("{:.3}", row.average.speedup));
-        speedup_precise.row(cells);
-    }
-    drop(speedup);
-
-    let power = panel_table(&format!("{fig}: power savings"), rows, |c| c.power_savings_pct, "%");
-    let energy = panel_table(&format!("{fig}: energy savings"), rows, |c| c.energy_savings_pct, "%");
-    let ed = panel_table(
-        &format!("{fig}: energy-delay improvement"),
-        rows,
-        |c| c.ed_improvement_pct,
-        "%",
-    );
-    for t in [&speedup_precise, &power, &energy, &ed] {
-        println!("{}", t.render());
-    }
-    harness.save_csv(&speedup_precise, &format!("{fig}_speedup"));
-    harness.save_csv(&power, &format!("{fig}_power"));
-    harness.save_csv(&energy, &format!("{fig}_energy"));
-    harness.save_csv(&ed, &format!("{fig}_ed"));
-}
-
-/// Paper-published average values for easy side-by-side printing.
-#[derive(Debug, Clone, Copy)]
-pub struct PaperAverage {
-    /// Experiment id.
-    pub id: &'static str,
-    /// Energy savings (%).
-    pub energy: f64,
-    /// E-D improvement (%), where published.
-    pub ed: Option<f64>,
-}
-
-/// Paper averages quoted in §5.2 for the experiments it calls out.
-#[must_use]
-pub fn paper_averages() -> BTreeMap<&'static str, PaperAverage> {
-    let entries = [
-        PaperAverage { id: "A1", energy: 5.2, ed: None },
-        PaperAverage { id: "A2", energy: 6.6, ed: None },
-        PaperAverage { id: "A3", energy: 9.2, ed: None },
-        PaperAverage { id: "A5", energy: 11.7, ed: Some(8.6) },
-        PaperAverage { id: "A6", energy: 12.3, ed: Some(0.0) },
-        PaperAverage { id: "A7", energy: 11.0, ed: Some(3.5) },
-        PaperAverage { id: "B1", energy: 7.1, ed: None },
-        PaperAverage { id: "B2", energy: 8.2, ed: None },
-        PaperAverage { id: "B3", energy: 7.5, ed: Some(-5.0) },
-        PaperAverage { id: "B7", energy: 11.9, ed: Some(7.8) },
-        PaperAverage { id: "C2", energy: 13.5, ed: Some(8.5) },
-        PaperAverage { id: "C7", energy: 11.0, ed: Some(3.5) },
-    ];
-    entries.into_iter().map(|p| (p.id, p)).collect()
-}
-
-/// Prints measured-vs-paper average lines for the experiments the paper
-/// quotes explicitly.
-pub fn print_paper_comparison(rows: &[PanelRow]) {
-    let paper = paper_averages();
-    println!("paper-vs-measured (average energy savings / E-D improvement, %):");
-    for row in rows {
-        if let Some(p) = paper.get(row.id.as_str()) {
-            let ed = p
-                .ed
-                .map(|v| format!("{v:+.1}"))
-                .unwrap_or_else(|| "n/a".to_string());
-            println!(
-                "  {:<3} paper {:+.1} / {:>5}   measured {:+.1} / {:+.1}",
-                row.id, p.energy, ed, row.average.energy_savings_pct, row.average.ed_improvement_pct
-            );
-        }
-    }
-    println!();
+    st_sweep::figures::emit_figure(&harness.ctx(), fig, rows);
 }
 
 #[cfg(test)]
@@ -295,5 +201,18 @@ mod tests {
         let t = panel_table("t", &rows, |c| c.energy_savings_pct, "%");
         assert_eq!(t.len(), 1);
         assert!(t.render().contains("A5"));
+    }
+
+    #[test]
+    fn rerunning_baselines_hits_the_cache() {
+        let mut h = Harness::from_env();
+        h.instructions = 2_000;
+        h.workloads.truncate(2);
+        let cfg = PipelineConfig::paper_default();
+        let a = h.run_baselines(&cfg);
+        let simulated = h.engine().stats().simulated;
+        let b = h.run_baselines(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(h.engine().stats().simulated, simulated, "no re-simulation");
     }
 }

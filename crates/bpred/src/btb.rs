@@ -37,7 +37,7 @@ impl Btb {
     #[must_use]
     pub fn new(entries: usize, ways: usize) -> Btb {
         assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(ways > 0 && entries.is_multiple_of(ways), "ways must divide entries");
         Btb {
             sets: entries / ways,
             ways,
@@ -59,7 +59,7 @@ impl Btb {
     }
 
     fn tag_of(&self, pc: Pc) -> u64 {
-        (pc.addr() >> 2) as u64 / self.sets as u64
+        (pc.addr() >> 2) / self.sets as u64
     }
 
     /// Looks up the predicted target for the control instruction at `pc`.

@@ -290,7 +290,12 @@ impl SaturatingEstimator {
         assert!(cfg.ways > 0, "ways must be positive");
         let sets = (total / cfg.ways).max(1);
         assert!(sets.is_power_of_two(), "sets ({sets}) must be a power of two");
-        SaturatingEstimator { cfg, sets, entries: vec![SatEntry::default(); sets * cfg.ways], tick: 0 }
+        SaturatingEstimator {
+            cfg,
+            sets,
+            entries: vec![SatEntry::default(); sets * cfg.ways],
+            tick: 0,
+        }
     }
 
     /// Creates the paper-default estimator at a given byte budget.
@@ -316,10 +321,7 @@ impl SaturatingEstimator {
 impl ConfidenceEstimator for SaturatingEstimator {
     fn estimate(&self, pc: Pc, history: u64, pred: Prediction) -> Confidence {
         let (set, tag) = self.key(pc, history);
-        let table = match self.find(set, tag) {
-            Some(i) => Some(Confidence::from_counter3(self.entries[i].ctr)),
-            None => None,
-        };
+        let table = self.find(set, tag).map(|i| Confidence::from_counter3(self.entries[i].ctr));
         match table {
             // Merging: a weak underlying counter escalates a hit to at
             // least LC; a strong counter leaves the table estimate alone.
@@ -348,12 +350,8 @@ impl ConfidenceEstimator for SaturatingEstimator {
             let victim = (base..base + self.cfg.ways)
                 .min_by_key(|&i| if self.entries[i].valid { self.entries[i].lru } else { 0 })
                 .expect("ways > 0");
-            self.entries[victim] = SatEntry {
-                valid: true,
-                tag,
-                ctr: self.cfg.init_on_alloc.min(7),
-                lru: self.tick,
-            };
+            self.entries[victim] =
+                SatEntry { valid: true, tag, ctr: self.cfg.init_on_alloc.min(7), lru: self.tick };
         }
     }
 

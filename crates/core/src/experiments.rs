@@ -75,7 +75,12 @@ impl Experiment {
     }
 }
 
-fn throttle(id: &'static str, label: &'static str, lc: ThrottleAction, vlc: ThrottleAction) -> Experiment {
+fn throttle(
+    id: &'static str,
+    label: &'static str,
+    lc: ThrottleAction,
+    vlc: ThrottleAction,
+) -> Experiment {
     Experiment { id, label, kind: ExperimentKind::Throttle(ThrottlePolicy::low_only(lc, vlc)) }
 }
 
@@ -94,43 +99,77 @@ pub fn baseline() -> Experiment {
 /// A1) `LC: fetch/2, VLC: fetch/2`.
 #[must_use]
 pub fn a1() -> Experiment {
-    throttle("A1", "LC: fetch/2, VLC: fetch/2", ThrottleAction::fetch(Half), ThrottleAction::fetch(Half))
+    throttle(
+        "A1",
+        "LC: fetch/2, VLC: fetch/2",
+        ThrottleAction::fetch(Half),
+        ThrottleAction::fetch(Half),
+    )
 }
 
 /// A2) `LC: fetch/2, VLC: fetch/4`.
 #[must_use]
 pub fn a2() -> Experiment {
-    throttle("A2", "LC: fetch/2, VLC: fetch/4", ThrottleAction::fetch(Half), ThrottleAction::fetch(Quarter))
+    throttle(
+        "A2",
+        "LC: fetch/2, VLC: fetch/4",
+        ThrottleAction::fetch(Half),
+        ThrottleAction::fetch(Quarter),
+    )
 }
 
 /// A3) `LC: fetch/2, VLC: fetch=0`.
 #[must_use]
 pub fn a3() -> Experiment {
-    throttle("A3", "LC: fetch/2, VLC: fetch=0", ThrottleAction::fetch(Half), ThrottleAction::fetch(Stall))
+    throttle(
+        "A3",
+        "LC: fetch/2, VLC: fetch=0",
+        ThrottleAction::fetch(Half),
+        ThrottleAction::fetch(Stall),
+    )
 }
 
 /// A4) `LC: fetch/4, VLC: fetch/4`.
 #[must_use]
 pub fn a4() -> Experiment {
-    throttle("A4", "LC: fetch/4, VLC: fetch/4", ThrottleAction::fetch(Quarter), ThrottleAction::fetch(Quarter))
+    throttle(
+        "A4",
+        "LC: fetch/4, VLC: fetch/4",
+        ThrottleAction::fetch(Quarter),
+        ThrottleAction::fetch(Quarter),
+    )
 }
 
 /// A5) `LC: fetch/4, VLC: fetch=0` — the best pure fetch-throttling point.
 #[must_use]
 pub fn a5() -> Experiment {
-    throttle("A5", "LC: fetch/4, VLC: fetch=0", ThrottleAction::fetch(Quarter), ThrottleAction::fetch(Stall))
+    throttle(
+        "A5",
+        "LC: fetch/4, VLC: fetch=0",
+        ThrottleAction::fetch(Quarter),
+        ThrottleAction::fetch(Stall),
+    )
 }
 
 /// A6) `LC: fetch=0, VLC: fetch=0` (Pipeline Gating without the threshold).
 #[must_use]
 pub fn a6() -> Experiment {
-    throttle("A6", "LC: fetch=0, VLC: fetch=0", ThrottleAction::fetch(Stall), ThrottleAction::fetch(Stall))
+    throttle(
+        "A6",
+        "LC: fetch=0, VLC: fetch=0",
+        ThrottleAction::fetch(Stall),
+        ThrottleAction::fetch(Stall),
+    )
 }
 
 /// A7) Pipeline Gating (JRS, MDC 12, gating threshold 2).
 #[must_use]
 pub fn a7() -> Experiment {
-    Experiment { id: "A7", label: "Pipeline Gating (JRS)", kind: ExperimentKind::Gating { threshold: 2 } }
+    Experiment {
+        id: "A7",
+        label: "Pipeline Gating (JRS)",
+        kind: ExperimentKind::Gating { threshold: 2 },
+    }
 }
 
 /// All Figure 3 experiments in paper order.
@@ -150,19 +189,34 @@ fn vlc_stall() -> ThrottleAction {
 /// B1) `LC: fetch/1 + decode/2`.
 #[must_use]
 pub fn b1() -> Experiment {
-    throttle("B1", "LC: fetch/1+decode/2", ThrottleAction::fetch_decode(BandwidthLevel::Full, Half), vlc_stall())
+    throttle(
+        "B1",
+        "LC: fetch/1+decode/2",
+        ThrottleAction::fetch_decode(BandwidthLevel::Full, Half),
+        vlc_stall(),
+    )
 }
 
 /// B2) `LC: fetch/1 + decode/4`.
 #[must_use]
 pub fn b2() -> Experiment {
-    throttle("B2", "LC: fetch/1+decode/4", ThrottleAction::fetch_decode(BandwidthLevel::Full, Quarter), vlc_stall())
+    throttle(
+        "B2",
+        "LC: fetch/1+decode/4",
+        ThrottleAction::fetch_decode(BandwidthLevel::Full, Quarter),
+        vlc_stall(),
+    )
 }
 
 /// B3) `LC: fetch/1 + decode=0`.
 #[must_use]
 pub fn b3() -> Experiment {
-    throttle("B3", "LC: fetch/1+decode=0", ThrottleAction::fetch_decode(BandwidthLevel::Full, Stall), vlc_stall())
+    throttle(
+        "B3",
+        "LC: fetch/1+decode=0",
+        ThrottleAction::fetch_decode(BandwidthLevel::Full, Stall),
+        vlc_stall(),
+    )
 }
 
 /// B4) `LC: fetch/2 + decode/2`.
@@ -186,19 +240,33 @@ pub fn b6() -> Experiment {
 /// B7) `LC: fetch/4 + decode/4`.
 #[must_use]
 pub fn b7() -> Experiment {
-    throttle("B7", "LC: fetch/4+decode/4", ThrottleAction::fetch_decode(Quarter, Quarter), vlc_stall())
+    throttle(
+        "B7",
+        "LC: fetch/4+decode/4",
+        ThrottleAction::fetch_decode(Quarter, Quarter),
+        vlc_stall(),
+    )
 }
 
 /// B8) `LC: fetch/4 + decode=0`.
 #[must_use]
 pub fn b8() -> Experiment {
-    throttle("B8", "LC: fetch/4+decode=0", ThrottleAction::fetch_decode(Quarter, Stall), vlc_stall())
+    throttle(
+        "B8",
+        "LC: fetch/4+decode=0",
+        ThrottleAction::fetch_decode(Quarter, Stall),
+        vlc_stall(),
+    )
 }
 
 /// B9) Pipeline Gating (comparison row of Figure 4).
 #[must_use]
 pub fn b9() -> Experiment {
-    Experiment { id: "B9", label: "Pipeline Gating (JRS)", kind: ExperimentKind::Gating { threshold: 2 } }
+    Experiment {
+        id: "B9",
+        label: "Pipeline Gating (JRS)",
+        kind: ExperimentKind::Gating { threshold: 2 },
+    }
 }
 
 /// All Figure 4 experiments in paper order.
@@ -232,7 +300,12 @@ pub fn c2() -> Experiment {
 /// C3) `VLC: fetch=0, LC: fetch/2 + decode/4` (= B5).
 #[must_use]
 pub fn c3() -> Experiment {
-    throttle("C3", "VLC: fet=0, LC: fet/2+dec/4", ThrottleAction::fetch_decode(Half, Quarter), vlc_stall())
+    throttle(
+        "C3",
+        "VLC: fet=0, LC: fet/2+dec/4",
+        ThrottleAction::fetch_decode(Half, Quarter),
+        vlc_stall(),
+    )
 }
 
 /// C4) C3 plus selection throttling.
@@ -249,7 +322,12 @@ pub fn c4() -> Experiment {
 /// C5) `VLC: fetch=0, LC: fetch/4 + decode/4` (= B7).
 #[must_use]
 pub fn c5() -> Experiment {
-    throttle("C5", "VLC: fet=0, LC: fet/4+dec/4", ThrottleAction::fetch_decode(Quarter, Quarter), vlc_stall())
+    throttle(
+        "C5",
+        "VLC: fet=0, LC: fet/4+dec/4",
+        ThrottleAction::fetch_decode(Quarter, Quarter),
+        vlc_stall(),
+    )
 }
 
 /// C6) C5 plus selection throttling.
@@ -266,7 +344,11 @@ pub fn c6() -> Experiment {
 /// C7) Pipeline Gating (comparison row of Figure 5).
 #[must_use]
 pub fn c7() -> Experiment {
-    Experiment { id: "C7", label: "Pipeline Gating (JRS)", kind: ExperimentKind::Gating { threshold: 2 } }
+    Experiment {
+        id: "C7",
+        label: "Pipeline Gating (JRS)",
+        kind: ExperimentKind::Gating { threshold: 2 },
+    }
 }
 
 /// All Figure 5 experiments in paper order.
@@ -288,13 +370,21 @@ pub fn oracle_fetch() -> Experiment {
 /// Oracle decode: realistic fetch, correct-path-only decode.
 #[must_use]
 pub fn oracle_decode() -> Experiment {
-    Experiment { id: "OD", label: "oracle decode", kind: ExperimentKind::Oracle(OracleMode::Decode) }
+    Experiment {
+        id: "OD",
+        label: "oracle decode",
+        kind: ExperimentKind::Oracle(OracleMode::Decode),
+    }
 }
 
 /// Oracle select: realistic fetch and decode, correct-path-only selection.
 #[must_use]
 pub fn oracle_select() -> Experiment {
-    Experiment { id: "OS", label: "oracle select", kind: ExperimentKind::Oracle(OracleMode::Select) }
+    Experiment {
+        id: "OS",
+        label: "oracle select",
+        kind: ExperimentKind::Oracle(OracleMode::Select),
+    }
 }
 
 /// All Figure 1 experiments in paper order.

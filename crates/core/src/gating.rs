@@ -27,11 +27,7 @@ impl PipelineGatingController {
     /// Panics if `gating_threshold` is zero (the gate would never open).
     #[must_use]
     pub fn new(gating_threshold: u32) -> PipelineGatingController {
-        PipelineGatingController {
-            gating_threshold,
-            outstanding: Vec::new(),
-            low_outstanding: 0,
-        }
+        PipelineGatingController { gating_threshold, outstanding: Vec::new(), low_outstanding: 0 }
     }
 
     /// The paper's configuration: gating threshold 2.

@@ -59,5 +59,7 @@ pub use experiments::{Experiment, ExperimentKind};
 pub use gating::PipelineGatingController;
 pub use oracle::OracleController;
 pub use selective::SelectiveThrottleController;
-pub use simulator::{average_comparison, compare, Comparison, SimReport, Simulator, SimulatorBuilder};
+pub use simulator::{
+    average_comparison, compare, Comparison, SimReport, Simulator, SimulatorBuilder,
+};
 pub use throttle::{BandwidthLevel, ThrottleAction, ThrottlePolicy};

@@ -89,10 +89,7 @@ impl SpeculationController for SelectiveThrottleController {
     fn decode_bypass_horizon(&self) -> Option<SeqNum> {
         // Instructions not younger than the oldest decode-throttling
         // trigger are control-independent of every active decode trigger.
-        self.triggers
-            .iter()
-            .find(|(_, a)| a.decode != BandwidthLevel::Full)
-            .map(|(s, _)| *s)
+        self.triggers.iter().find(|(_, a)| a.decode != BandwidthLevel::Full).map(|(s, _)| *s)
     }
 
     fn on_branch_predicted(&mut self, event: &BranchEvent) {

@@ -217,7 +217,10 @@ pub fn compare(baseline: &SimReport, variant: &SimReport) -> Comparison {
         speedup: baseline.perf.cycles as f64 / variant.perf.cycles.max(1) as f64,
         power_savings_pct: savings_pct(baseline.energy.avg_power(), variant.energy.avg_power()),
         energy_savings_pct: savings_pct(baseline.energy.energy, variant.energy.energy),
-        ed_improvement_pct: savings_pct(baseline.energy.energy_delay(), variant.energy.energy_delay()),
+        ed_improvement_pct: savings_pct(
+            baseline.energy.energy_delay(),
+            variant.energy.energy_delay(),
+        ),
         ed2_improvement_pct: savings_pct(
             baseline.energy.energy_delay2(),
             variant.energy.energy_delay2(),
@@ -263,7 +266,12 @@ mod tests {
     }
 
     fn run(seed: u64, e: Experiment, n: u64) -> SimReport {
-        Simulator::builder().workload(workload(seed)).experiment(e).max_instructions(n).build().run()
+        Simulator::builder()
+            .workload(workload(seed))
+            .experiment(e)
+            .max_instructions(n)
+            .build()
+            .run()
     }
 
     #[test]

@@ -49,14 +49,14 @@ impl BandwidthLevel {
         match self {
             BandwidthLevel::Full => width,
             BandwidthLevel::Half => {
-                if cycle % 2 == 0 {
+                if cycle.is_multiple_of(2) {
                     width
                 } else {
                     0
                 }
             }
             BandwidthLevel::Quarter => {
-                if cycle % 4 == 0 {
+                if cycle.is_multiple_of(4) {
                     width
                 } else {
                     0
@@ -105,8 +105,11 @@ pub struct ThrottleAction {
 
 impl ThrottleAction {
     /// The identity action (no throttling).
-    pub const NONE: ThrottleAction =
-        ThrottleAction { fetch: BandwidthLevel::Full, decode: BandwidthLevel::Full, no_select: false };
+    pub const NONE: ThrottleAction = ThrottleAction {
+        fetch: BandwidthLevel::Full,
+        decode: BandwidthLevel::Full,
+        no_select: false,
+    };
 
     /// Fetch-only throttling.
     #[must_use]

@@ -162,7 +162,7 @@ impl BranchModel {
                     !bernoulli(h, p_nn)
                 }
             }
-            BranchBehavior::Alternating => n % 2 == 0,
+            BranchBehavior::Alternating => n.is_multiple_of(2),
         }
     }
 
@@ -260,7 +260,9 @@ mod tests {
     #[test]
     fn taken_rates() {
         assert!((BranchBehavior::Loop { trip: 4 }.taken_rate() - 0.75).abs() < 1e-12);
-        assert!((BranchBehavior::Pattern { bits: 0b0110, len: 4 }.taken_rate() - 0.5).abs() < 1e-12);
+        assert!(
+            (BranchBehavior::Pattern { bits: 0b0110, len: 4 }.taken_rate() - 0.5).abs() < 1e-12
+        );
         assert!((BranchBehavior::Biased { p_taken: 0.3 }.taken_rate() - 0.3).abs() < 1e-12);
         assert!((BranchBehavior::Alternating.taken_rate() - 0.5).abs() < 1e-12);
         let m = BranchBehavior::Markov { p_tt: 0.9, p_nn: 0.9 };
@@ -270,7 +272,9 @@ mod tests {
     #[test]
     fn intrinsic_miss_floor() {
         assert_eq!(BranchBehavior::Loop { trip: 8 }.intrinsic_miss_floor(), 0.0);
-        assert!((BranchBehavior::Biased { p_taken: 0.8 }.intrinsic_miss_floor() - 0.2).abs() < 1e-12);
+        assert!(
+            (BranchBehavior::Biased { p_taken: 0.8 }.intrinsic_miss_floor() - 0.2).abs() < 1e-12
+        );
         assert_eq!(BranchBehavior::Alternating.intrinsic_miss_floor(), 0.0);
     }
 

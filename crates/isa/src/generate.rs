@@ -298,10 +298,7 @@ impl WorkloadSpecBuilder {
         ] {
             assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0,1]");
         }
-        assert!(
-            s.branch_frac + s.jump_frac <= 1.0,
-            "branch_frac + jump_frac must not exceed 1"
-        );
+        assert!(s.branch_frac + s.jump_frac <= 1.0, "branch_frac + jump_frac must not exceed 1");
         self.spec
     }
 }
@@ -454,10 +451,8 @@ impl<'a> ProgramGenerator<'a> {
             // disperses the I-cache footprint).
             if rng.gen_bool(s.jump_frac.clamp(0.0, 1.0)) {
                 let i = blocks.len();
-                let instrs = vec![
-                    self.gen_body_instr(&mut rng, &mut recent, &mut streams),
-                    Instr::jump(),
-                ];
+                let instrs =
+                    vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
                 let term = Terminator::Jump(BlockId((i + 1) as u32));
                 push_block(&mut blocks, &mut pc, instrs, term);
             }
@@ -472,10 +467,14 @@ impl<'a> ProgramGenerator<'a> {
                 self.gen_body_instr(&mut rng, &mut recent, &mut streams),
                 self.gen_body_instr(&mut rng, &mut recent, &mut streams),
             ];
-            push_block(&mut blocks, &mut pc, instrs, Terminator::Fallthrough(BlockId((i + 1) as u32)));
+            push_block(
+                &mut blocks,
+                &mut pc,
+                instrs,
+                Terminator::Fallthrough(BlockId((i + 1) as u32)),
+            );
         }
-        let instrs =
-            vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
+        let instrs = vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
         push_block(&mut blocks, &mut pc, instrs, Terminator::Jump(BlockId(0)));
 
         Program::new(s.name.clone(), blocks, branches, streams, BlockId(0))
@@ -518,7 +517,7 @@ impl<'a> ProgramGenerator<'a> {
     fn gen_branch_seq(
         &self,
         rng: &mut StdRng,
-        recent: &mut Vec<Reg>,
+        recent: &mut [Reg],
         streams: &mut Vec<MemStreamSpec>,
     ) -> Vec<Instr> {
         if rng.gen_bool(self.spec.branch_on_load.clamp(0.0, 1.0)) {
@@ -601,7 +600,6 @@ impl<'a> ProgramGenerator<'a> {
             seed: rng.gen(),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -656,10 +654,8 @@ mod tests {
         let dense =
             WorkloadSpec::builder("bf").seed(3).blocks(2000).branch_frac(0.9).build().generate();
         let count = |p: &Program| {
-            p.blocks()
-                .iter()
-                .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
-                .count() as f64
+            p.blocks().iter().filter(|b| matches!(b.terminator, Terminator::Branch { .. })).count()
+                as f64
                 / p.blocks().len() as f64
         };
         let (lo, hi) = (count(&sparse), count(&dense));
@@ -691,12 +687,7 @@ mod tests {
     #[test]
     fn mem_fraction_is_respected() {
         let p = small_spec().generate();
-        let mems = p
-            .blocks()
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .filter(|i| i.op.is_mem())
-            .count();
+        let mems = p.blocks().iter().flat_map(|b| &b.instrs).filter(|i| i.op.is_mem()).count();
         // mem_frac applies to body instructions only; terminators dilute it.
         let frac = mems as f64 / p.instr_count() as f64;
         assert!(frac > 0.15 && frac < 0.40, "mem fraction {frac}");

@@ -239,7 +239,8 @@ mod tests {
 
     #[test]
     fn terminator_successor() {
-        let t = Terminator::Branch { branch: BranchId(0), taken: BlockId(5), not_taken: BlockId(6) };
+        let t =
+            Terminator::Branch { branch: BranchId(0), taken: BlockId(5), not_taken: BlockId(6) };
         assert_eq!(t.successor(true), BlockId(5));
         assert_eq!(t.successor(false), BlockId(6));
         assert_eq!(t.branch_id(), Some(BranchId(0)));

@@ -178,7 +178,10 @@ impl Program {
                 Terminator::Branch { branch, taken, not_taken } => {
                     for s in [taken, not_taken] {
                         if s.0 >= n {
-                            return Err(ProgramError::DanglingSuccessor { block: id, successor: s });
+                            return Err(ProgramError::DanglingSuccessor {
+                                block: id,
+                                successor: s,
+                            });
                         }
                     }
                     if last.op != OpClass::Branch {
@@ -301,7 +304,7 @@ impl Program {
         let block_id = self.block_of(pc)?;
         let b = self.block(block_id);
         let off = pc.addr() - b.start_pc.addr();
-        if off % INSTR_BYTES != 0 {
+        if !off.is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let idx = (off / INSTR_BYTES) as usize;

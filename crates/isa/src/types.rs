@@ -67,11 +67,7 @@ impl Reg {
     /// Panics if `n >= Reg::COUNT`.
     #[must_use]
     pub fn new(n: u8) -> Reg {
-        assert!(
-            (n as usize) < Reg::COUNT,
-            "register {n} out of range (max {})",
-            Reg::COUNT - 1
-        );
+        assert!((n as usize) < Reg::COUNT, "register {n} out of range (max {})", Reg::COUNT - 1);
         Reg(n)
     }
 

@@ -164,7 +164,7 @@ impl Walker {
     #[must_use]
     pub fn wrong_path_mem_addr(&self, program: &Program, stream: StreamId, salt: u64) -> u64 {
         let spec = program.stream(stream);
-        let h = crate::hash::mix2(salt, 0x77_6d65_6d);
+        let h = crate::hash::mix2(salt, 0x776d_656d);
         if h & 1 == 1 {
             // Garbage-register access: uniform in the shared heap region.
             let slots = (spec.region_size / crate::memstream::ACCESS_BYTES).max(1);

@@ -26,7 +26,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
         assert!(self.ways > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines > 0 && lines % self.ways == 0, "ways must divide line count");
+        assert!(lines > 0 && lines.is_multiple_of(self.ways), "ways must divide line count");
         let sets = lines / self.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -173,9 +173,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.locate(addr);
         let base = set * self.config.ways;
-        self.lines[base..base + self.config.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.config.ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the whole cache (keeps statistics).

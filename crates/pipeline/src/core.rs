@@ -558,8 +558,7 @@ impl Core {
         if !was_wrong_path {
             self.on_correct_path = true;
         }
-        self.fetch_stall_until =
-            self.cycle + 1 + u64::from(self.config.extra_mispredict_penalty);
+        self.fetch_stall_until = self.cycle + 1 + u64::from(self.config.extra_mispredict_penalty);
     }
 
     // ------------------------------------------------------------------
@@ -777,8 +776,7 @@ impl Core {
                 }
             }
             // Conditional branches snapshot the rename map for recovery.
-            let rename_checkpoint =
-                d.is_cond_branch().then(|| Box::new(self.rename));
+            let rename_checkpoint = d.is_cond_branch().then(|| Box::new(self.rename));
             if let Some(dest) = d.dest {
                 self.rename[dest.index()] = Some(d.seq);
             }
@@ -859,8 +857,8 @@ impl Core {
         let line_bytes = u64::from(self.config.mem.l1i.line_bytes as u32);
         let mut cur_line = u64::MAX;
         let mut taken_this_cycle = 0u32;
-        let icache_share = self.power.event_energy(Unit::ICache)
-            / (line_bytes / INSTR_BYTES) as f64;
+        let icache_share =
+            self.power.event_energy(Unit::ICache) / (line_bytes / INSTR_BYTES) as f64;
 
         while allowance > 0 {
             let pc = self.fetch_pc;
@@ -979,7 +977,8 @@ impl Core {
 
                     // Divergence detection (the simulator knows the truth;
                     // the "hardware" does not).
-                    if self.on_correct_path && (d.pred_taken != d.true_taken || pred_next != d.true_next)
+                    if self.on_correct_path
+                        && (d.pred_taken != d.true_taken || pred_next != d.true_next)
                     {
                         self.on_correct_path = false;
                         if oracle == OracleMode::Fetch {
@@ -1181,7 +1180,7 @@ mod tests {
         struct HalfFetch;
         impl SpeculationController for HalfFetch {
             fn fetch_allowance(&mut self, cycle: u64, width: u32) -> u32 {
-                if cycle % 2 == 0 {
+                if cycle.is_multiple_of(2) {
                     width
                 } else {
                     0
@@ -1199,14 +1198,10 @@ mod tests {
 
     #[test]
     fn deeper_pipelines_waste_more_energy() {
-        let shallow = CoreBuilder::new(program(8))
-            .config(PipelineConfig::with_depth(6))
-            .build()
-            .run(15_000);
-        let deep = CoreBuilder::new(program(8))
-            .config(PipelineConfig::with_depth(28))
-            .build()
-            .run(15_000);
+        let shallow =
+            CoreBuilder::new(program(8)).config(PipelineConfig::with_depth(6)).build().run(15_000);
+        let deep =
+            CoreBuilder::new(program(8)).config(PipelineConfig::with_depth(28)).build().run(15_000);
         assert!(
             deep.energy.wasted_frac() > shallow.energy.wasted_frac(),
             "deep {} vs shallow {}",
@@ -1235,8 +1230,7 @@ mod tests {
         assert!(r.energy.avg_power() < 56.4, "cannot exceed peak power");
         assert!(r.mem.l1i_miss_rate >= 0.0 && r.mem.l1i_miss_rate <= 1.0);
         // Attributed energy cannot exceed total energy.
-        let attributed: f64 =
-            r.energy.wasted_per_unit.iter().sum::<f64>();
+        let attributed: f64 = r.energy.wasted_per_unit.iter().sum::<f64>();
         assert!(attributed <= r.energy.energy);
     }
 }

@@ -78,7 +78,8 @@ impl DynInstr {
     /// prediction differs from resolution in direction or target.
     #[must_use]
     pub fn mispredicted(&self) -> bool {
-        self.is_cond_branch() && (self.pred_taken != self.true_taken || self.pred_next != self.true_next)
+        self.is_cond_branch()
+            && (self.pred_taken != self.true_taken || self.pred_next != self.true_next)
     }
 
     /// Number of source operands present.

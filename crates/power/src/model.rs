@@ -225,7 +225,8 @@ impl PowerModel {
         per_unit[Unit::Clock.index()] = match self.config.gating {
             ClockGating::None => self.idle_energy[Unit::Clock.index()],
             ClockGating::Cc3 { idle_frac } => {
-                self.config.max_cycle_energy(Unit::Clock) * (idle_frac + (1.0 - idle_frac) * clock_usage)
+                self.config.max_cycle_energy(Unit::Clock)
+                    * (idle_frac + (1.0 - idle_frac) * clock_usage)
             }
         };
         CycleEnergy { total: per_unit.iter().sum(), per_unit }

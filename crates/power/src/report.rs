@@ -28,7 +28,11 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Builds a report from an account.
     #[must_use]
-    pub fn from_account(account: &EnergyAccount, committed: u64, frequency_hz: f64) -> EnergyReport {
+    pub fn from_account(
+        account: &EnergyAccount,
+        committed: u64,
+        frequency_hz: f64,
+    ) -> EnergyReport {
         let mut wasted = [0.0; UNIT_COUNT];
         for u in Unit::all() {
             wasted[u.index()] = account.wasted_energy_incl_overhead(u);

@@ -46,11 +46,8 @@ impl BarChart {
         let max_abs = self.bars.iter().map(|(_, v)| v.abs()).fold(f64::EPSILON, f64::max);
         for (label, value) in &self.bars {
             let n = ((value.abs() / max_abs) * self.width as f64).round() as usize;
-            let bar: String = if *value >= 0.0 {
-                "#".repeat(n)
-            } else {
-                format!("-{}", "#".repeat(n))
-            };
+            let bar: String =
+                if *value >= 0.0 { "#".repeat(n) } else { format!("-{}", "#".repeat(n)) };
             let _ = writeln!(out, "  {label:<label_w$}  {value:>8.2}{}  {bar}", self.unit);
         }
         out

@@ -16,7 +16,11 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new(), title: None }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title line printed above the table.
@@ -91,7 +95,8 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

@@ -1,0 +1,362 @@
+//! `st` — the unified sweep CLI.
+//!
+//! ```text
+//! st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH]
+//!     Regenerates every paper figure/table in one parallel, cached pass
+//!     and writes a BENCH_sweep.json perf artifact.
+//!
+//! st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
+//!     Executes a declarative sweep grid; emits JSONL + CSV results and
+//!     baseline comparisons.
+//!
+//! st list [workloads|experiments|figures]
+//!     Shows what the other subcommands can reference.
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use st_sweep::emit::{
+    comparison_jsonl, json_escape, json_num, reports_to_jsonl, reports_to_table, write_text,
+};
+use st_sweep::figures::{FigureCtx, ALL_FIGURES};
+use st_sweep::{all_experiments, SweepEngine, SweepSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("repro") => cmd_repro(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("st: unknown subcommand `{other}`\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+st — parallel, cache-aware sweeps over the Selective Throttling simulator
+
+USAGE:
+    st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH]
+    st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
+    st list [workloads|experiments|figures]
+
+OPTIONS:
+    --threads N      worker threads (default: all hardware threads;
+                     results are bit-identical for any value)
+    --instr N        instructions per simulation point
+                     (default: ST_BENCH_INSTR or 200000)
+    --out DIR        output directory (default: results/)
+    --bench-json P   where `repro` writes its perf artifact
+                     (default: BENCH_sweep.json)
+";
+
+/// Options shared by `repro` and `run`.
+struct CommonOpts {
+    threads: usize,
+    instr: Option<u64>,
+    out: Option<PathBuf>,
+    /// `--bench-json` as given; only `repro` accepts it.
+    bench_json: Option<PathBuf>,
+    /// Non-flag positionals, in order.
+    positional: Vec<String>,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
+    let mut opts =
+        CommonOpts { threads: 0, instr: None, out: None, bench_json: None, positional: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--threads" => {
+                opts.threads = value_for("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?;
+            }
+            "--instr" => {
+                opts.instr = Some(
+                    value_for("--instr")?
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| "--instr expects an integer".to_string())?,
+                );
+            }
+            "--out" => opts.out = Some(PathBuf::from(value_for("--out")?)),
+            "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => opts.positional.push(positional.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_repro(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st repro: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if let [unexpected, ..] = opts.positional.as_slice() {
+        eprintln!("st repro: unexpected argument `{unexpected}`\n{USAGE}");
+        return 2;
+    }
+    let bench_json_path = opts.bench_json.unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    let engine = SweepEngine::new(opts.threads);
+    let mut ctx = FigureCtx::from_env(&engine);
+    if let Some(n) = opts.instr {
+        ctx.instructions = n;
+    }
+    if let Some(out) = opts.out {
+        ctx.out_dir = out;
+    }
+    println!(
+        "st repro: {} figures, {} workloads x {} instructions, {} worker threads\n",
+        ALL_FIGURES.len(),
+        ctx.workloads.len(),
+        ctx.instructions,
+        engine.threads()
+    );
+
+    let wall = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for (name, generate) in ALL_FIGURES {
+        println!("==================================================================");
+        println!("== {name}");
+        println!("==================================================================");
+        let start = Instant::now();
+        generate(&ctx);
+        timings.push((name, start.elapsed().as_secs_f64()));
+    }
+    let total = wall.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    println!("==================================================================");
+    println!("st repro complete in {total:.2}s; CSVs in {}/", ctx.out_dir.display());
+    for (name, secs) in &timings {
+        println!("  {name:<18} {secs:>8.2}s");
+    }
+    println!(
+        "  cache: {} distinct points simulated, {} hits / {} misses ({:.1}% hit rate)",
+        stats.simulated,
+        stats.cache.hits,
+        stats.cache.misses,
+        100.0 * stats.cache.hit_rate()
+    );
+
+    let json = bench_json(&timings, total, &ctx, &engine);
+    match write_text(&bench_json_path, &json) {
+        Ok(()) => println!("  [perf] {}", bench_json_path.display()),
+        Err(e) => {
+            eprintln!("st repro: could not write {}: {e}", bench_json_path.display());
+            return 1;
+        }
+    }
+    0
+}
+
+/// Renders the `BENCH_sweep.json` perf artifact: wall-clock per figure
+/// plus cache effectiveness — the first point of the perf trajectory.
+fn bench_json(
+    timings: &[(&str, f64)],
+    total: f64,
+    ctx: &FigureCtx<'_>,
+    engine: &SweepEngine,
+) -> String {
+    let stats = engine.stats();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let figures: Vec<String> = timings
+        .iter()
+        .map(|(name, secs)| {
+            format!("{{\"name\":\"{}\",\"seconds\":{}}}", json_escape(name), json_num(*secs))
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"st_repro\",\n  \"unix_time\": {unix_time},\n  \"threads\": {},\n  \"instructions_per_point\": {},\n  \"workloads\": {},\n  \"total_seconds\": {},\n  \"figures\": [{}],\n  \"simulated_points\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {}}}\n}}\n",
+        engine.threads(),
+        ctx.instructions,
+        ctx.workloads.len(),
+        json_num(total),
+        figures.join(","),
+        stats.simulated,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.entries,
+        json_num(stats.cache.hit_rate()),
+    )
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st run: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if opts.bench_json.is_some() {
+        eprintln!("st run: --bench-json only applies to `st repro`\n{USAGE}");
+        return 2;
+    }
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st run: expected exactly one spec file\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st run: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut spec = match SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st run: {e}");
+            return 1;
+        }
+    };
+    if let Some(n) = opts.instr {
+        spec.instructions = n;
+    }
+    let jobs = match spec.jobs() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("st run: {e}");
+            return 1;
+        }
+    };
+    let engine = SweepEngine::new(opts.threads);
+    println!(
+        "st run: sweep `{}`, {} points x {} instructions, {} worker threads",
+        spec.name,
+        jobs.len(),
+        spec.instructions,
+        engine.threads()
+    );
+    let start = Instant::now();
+    let reports = engine.run(&jobs);
+    let stats = engine.stats();
+    println!(
+        "st run: complete in {:.2}s ({} simulated, {:.1}% cache hit rate)\n",
+        start.elapsed().as_secs_f64(),
+        stats.simulated,
+        100.0 * stats.cache.hit_rate()
+    );
+
+    // Emit raw results.
+    let out_dir = opts.out.unwrap_or_else(|| PathBuf::from("results"));
+    let mut jsonl = reports_to_jsonl(&reports);
+    let table = reports_to_table(&format!("sweep `{}` results", spec.name), &reports);
+    println!("{}", table.render());
+
+    // Pair every variant with its same-configuration baseline.
+    let baseline_index: HashMap<u64, usize> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.experiment.id == "BASE")
+        .map(|(i, j)| (j.fingerprint(), i))
+        .collect();
+    let mut cmp_table = st_report::Table::new(vec![
+        "workload",
+        "experiment",
+        "depth",
+        "speedup",
+        "power %",
+        "energy %",
+        "E-D %",
+    ])
+    .with_title(format!("sweep `{}` vs baseline", spec.name));
+    for (job, report) in jobs.iter().zip(&reports) {
+        if job.experiment.id == "BASE" {
+            continue;
+        }
+        let base_fp = job
+            .clone()
+            .with_experiment(st_core::experiments::baseline())
+            .with_estimator(st_sweep::EstimatorChoice::Experiment)
+            .fingerprint();
+        let Some(&bi) = baseline_index.get(&base_fp) else { continue };
+        let cmp = st_core::compare(&reports[bi], report);
+        jsonl.push_str(&comparison_jsonl(&report.workload, &report.experiment, &cmp));
+        jsonl.push('\n');
+        cmp_table.row(vec![
+            report.workload.clone(),
+            report.experiment.clone(),
+            job.config.depth.to_string(),
+            format!("{:.3}", cmp.speedup),
+            format!("{:+.1}", cmp.power_savings_pct),
+            format!("{:+.1}", cmp.energy_savings_pct),
+            format!("{:+.1}", cmp.ed_improvement_pct),
+        ]);
+    }
+    if !cmp_table.is_empty() {
+        println!("{}", cmp_table.render());
+    }
+
+    let jsonl_path = out_dir.join(format!("{}.jsonl", spec.name));
+    let csv_path = out_dir.join(format!("{}.csv", spec.name));
+    if let Err(e) = write_text(&jsonl_path, &jsonl) {
+        eprintln!("st run: could not write {}: {e}", jsonl_path.display());
+        return 1;
+    }
+    if let Err(e) = st_report::write_csv(&table, &csv_path) {
+        eprintln!("st run: could not write {}: {e}", csv_path.display());
+        return 1;
+    }
+    println!("  [jsonl] {}", jsonl_path.display());
+    println!("  [csv]   {}", csv_path.display());
+    0
+}
+
+fn cmd_list(args: &[String]) -> i32 {
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut shown = false;
+    if matches!(what, "all" | "workloads") {
+        println!("workloads (paper Table 2 stand-ins):");
+        for info in st_workloads::all() {
+            println!(
+                "  {:<10} {:<12} gshare-8KB miss {:>5.1}%",
+                info.spec.name,
+                info.suite,
+                100.0 * info.paper_miss_rate
+            );
+        }
+        println!();
+        shown = true;
+    }
+    if matches!(what, "all" | "experiments") {
+        println!("experiments:");
+        for e in all_experiments() {
+            println!("  {:<5} {}", e.id, e.label);
+        }
+        println!();
+        shown = true;
+    }
+    if matches!(what, "all" | "figures") {
+        println!("figures/tables (`st repro` regenerates all of these):");
+        for (name, _) in ALL_FIGURES {
+            println!("  {name}");
+        }
+        shown = true;
+    }
+    if !shown {
+        eprintln!("st list: unknown category `{what}` (try workloads|experiments|figures)");
+        return 2;
+    }
+    0
+}

@@ -1,0 +1,178 @@
+//! Structured result emitters: JSON lines, CSV and `st-report` tables.
+//!
+//! Everything renders to `String` first (tests assert on output), with
+//! thin `write_*` helpers for persistence. No serde in the vendored
+//! environment, so JSON is emitted by hand from a flat key/value model.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use st_core::{Comparison, SimReport};
+use st_report::Table;
+
+/// Escapes a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf; they map to null).
+#[must_use]
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The flat metric set emitted per simulation point.
+///
+/// Field order is the emission order of both the JSONL object keys and
+/// the CSV columns, so downstream tooling sees one stable schema.
+#[must_use]
+pub fn report_fields(r: &SimReport) -> Vec<(&'static str, String)> {
+    vec![
+        ("workload", format!("\"{}\"", json_escape(&r.workload))),
+        ("experiment", format!("\"{}\"", json_escape(&r.experiment))),
+        ("label", format!("\"{}\"", json_escape(&r.label))),
+        ("cycles", r.perf.cycles.to_string()),
+        ("committed", r.perf.committed.to_string()),
+        ("ipc", json_num(r.ipc())),
+        ("fetched", r.perf.fetched.to_string()),
+        ("wrong_path_fetched", r.perf.wrong_path_fetched.to_string()),
+        ("branches_committed", r.perf.branches_committed.to_string()),
+        ("mispredicts_committed", r.perf.mispredicts_committed.to_string()),
+        ("mispredict_rate", json_num(r.perf.mispredict_rate())),
+        ("fetch_gated_cycles", r.perf.fetch_gated_cycles.to_string()),
+        ("decode_gated_cycles", r.perf.decode_gated_cycles.to_string()),
+        ("selection_blocked", r.perf.selection_blocked.to_string()),
+        ("energy_j", json_num(r.energy.energy)),
+        ("avg_power_w", json_num(r.energy.avg_power())),
+        ("energy_delay", json_num(r.energy.energy_delay())),
+        ("wasted_frac", json_num(r.energy.wasted_frac())),
+        ("conf_spec", json_num(r.conf.spec())),
+        ("conf_pvn", json_num(r.conf.pvn())),
+        ("l1i_miss_rate", json_num(r.mem.l1i_miss_rate)),
+        ("l1d_miss_rate", json_num(r.mem.l1d_miss_rate)),
+    ]
+}
+
+/// One JSON-lines record for a simulation point (`"kind":"report"`).
+///
+/// `st run` writes report and comparison records into one JSONL stream;
+/// the leading `kind` field is the discriminator consumers switch on.
+#[must_use]
+pub fn report_jsonl(r: &SimReport) -> String {
+    let fields: Vec<String> =
+        report_fields(r).into_iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{\"kind\":\"report\",{}}}", fields.join(","))
+}
+
+/// One JSON-lines record for a baseline-vs-variant comparison
+/// (`"kind":"comparison"`; see [`report_jsonl`] on the discriminator).
+#[must_use]
+pub fn comparison_jsonl(workload: &str, experiment: &str, c: &Comparison) -> String {
+    format!(
+        "{{\"kind\":\"comparison\",\"workload\":\"{}\",\"experiment\":\"{}\",\"speedup\":{},\"power_savings_pct\":{},\"energy_savings_pct\":{},\"ed_improvement_pct\":{},\"ed2_improvement_pct\":{}}}",
+        json_escape(workload),
+        json_escape(experiment),
+        json_num(c.speedup),
+        json_num(c.power_savings_pct),
+        json_num(c.energy_savings_pct),
+        json_num(c.ed_improvement_pct),
+        json_num(c.ed2_improvement_pct),
+    )
+}
+
+/// Renders a batch of reports as one JSONL document.
+#[must_use]
+pub fn reports_to_jsonl(reports: &[impl std::borrow::Borrow<SimReport>]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&report_jsonl(r.borrow()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a batch of reports as a CSV-able [`Table`] (same schema as the
+/// JSONL emitter; string quoting stripped).
+#[must_use]
+pub fn reports_to_table(title: &str, reports: &[impl std::borrow::Borrow<SimReport>]) -> Table {
+    let headers: Vec<String> = match reports.first() {
+        Some(first) => {
+            report_fields(first.borrow()).iter().map(|(k, _)| (*k).to_string()).collect()
+        }
+        None => vec!["workload".to_string()],
+    };
+    let mut t = Table::new(headers).with_title(title.to_string());
+    for r in reports {
+        t.row(
+            report_fields(r.borrow())
+                .into_iter()
+                .map(|(_, v)| v.trim_matches('"').to_string())
+                .collect(),
+        );
+    }
+    t
+}
+
+/// Writes text to a file, creating parent directories.
+pub fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobSpec;
+    use st_isa::WorkloadSpec;
+
+    fn report() -> SimReport {
+        JobSpec::new(WorkloadSpec::builder("emit-test").seed(9).blocks(64).build(), 1_000).run()
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_flat_object() {
+        let line = report_jsonl(&report());
+        assert!(line.starts_with("{\"kind\":\"report\",") && line.ends_with('}'));
+        assert!(line.contains("\"workload\":\"emit-test\""));
+        assert!(line.contains("\"experiment\":\"BASE\""));
+        assert!(line.contains("\"ipc\":"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+
+    #[test]
+    fn table_mirrors_jsonl_schema() {
+        let r = report();
+        let t = reports_to_table("t", &[&r]);
+        let csv = t.to_csv();
+        assert!(csv.contains("workload"));
+        assert!(csv.contains("emit-test"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! The deterministic parallel executor.
+//!
+//! [`SweepEngine::run`] takes a batch of [`JobSpec`]s and returns their
+//! reports *in submission order*. Internally it:
+//!
+//! 1. fingerprints every job and answers what it can from the
+//!    [`ResultCache`];
+//! 2. dedups identical points submitted in the same batch;
+//! 3. shards the remaining unique points across a worker pool (a shared
+//!    atomic work index over a fixed job list — no channels, no locks on
+//!    the hot path);
+//! 4. reassembles results by submission index.
+//!
+//! Every simulation is a pure function of its [`JobSpec`] (the workload
+//! seed fixes the program; the pipeline is cycle-deterministic), so the
+//! thread count and OS scheduling cannot influence any result bit —
+//! `--threads 1` and `--threads N` produce identical output, which the
+//! integration tests assert.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use st_core::SimReport;
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::JobSpec;
+
+/// Aggregate execution counters of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Simulations actually executed (cache misses).
+    pub simulated: u64,
+    /// Cache counters (hits include batch-level dedup).
+    pub cache: CacheStats,
+}
+
+/// A parallel, cache-aware sweep executor.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    cache: ResultCache,
+    simulated: AtomicU64,
+}
+
+impl SweepEngine {
+    /// An engine with an explicit worker count (`0` = auto-detect the
+    /// available hardware parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> SweepEngine {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+        } else {
+            threads
+        };
+        SweepEngine { threads, cache: ResultCache::new(), simulated: AtomicU64::new(0) }
+    }
+
+    /// An engine sized to the available hardware parallelism.
+    #[must_use]
+    pub fn auto() -> SweepEngine {
+        SweepEngine::new(0)
+    }
+
+    /// Worker-pool size.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execution counters so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats { simulated: self.simulated.load(Ordering::Relaxed), cache: self.cache.stats() }
+    }
+
+    /// Runs a batch of jobs, returning reports in submission order.
+    ///
+    /// Results are bit-identical regardless of the worker count: each job
+    /// is a pure function of its spec, and assembly is by submission
+    /// index, not completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation thread panics (a simulator bug, not a usage
+    /// error).
+    #[must_use]
+    pub fn run(&self, jobs: &[JobSpec]) -> Vec<Arc<SimReport>> {
+        // Phase 1: resolve against the cache and dedup within the batch.
+        // `slots[i]` is either a finished report or an index into `fresh`.
+        enum Slot {
+            Done(Arc<SimReport>),
+            Fresh(usize),
+        }
+        let mut fresh: Vec<(u64, &JobSpec)> = Vec::new();
+        let mut fresh_index: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let slots: Vec<Slot> = jobs
+            .iter()
+            .map(|job| {
+                let fp = job.fingerprint();
+                if let Some(hit) = match fresh_index.get(&fp) {
+                    // A duplicate of a point already scheduled in this
+                    // batch: count it as a hit, don't re-consult the map.
+                    Some(&idx) => {
+                        self.cache.count_dedup_hit();
+                        return Slot::Fresh(idx);
+                    }
+                    None => self.cache.get(fp),
+                } {
+                    return Slot::Done(hit);
+                }
+                let idx = fresh.len();
+                fresh.push((fp, job));
+                fresh_index.insert(fp, idx);
+                Slot::Fresh(idx)
+            })
+            .collect();
+
+        // Phase 2: shard the unique misses across the worker pool.
+        let results: Vec<OnceLock<Arc<SimReport>>> =
+            (0..fresh.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(fresh.len());
+        if workers <= 1 {
+            for (i, (_, job)) in fresh.iter().enumerate() {
+                results[i].set(Arc::new(job.run())).expect("slot set once");
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, job)) = fresh.get(i) else { break };
+                        results[i].set(Arc::new(job.run())).expect("slot set once");
+                    });
+                }
+            });
+        }
+        self.simulated.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+
+        // Phase 3: publish to the cache and assemble in submission order.
+        let finished: Vec<Arc<SimReport>> = results
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("worker filled every slot"))
+            .collect();
+        for ((fp, _), report) in fresh.iter().zip(&finished) {
+            self.cache.insert(*fp, Arc::clone(report));
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(r) => r,
+                Slot::Fresh(i) => Arc::clone(&finished[i]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_isa::WorkloadSpec;
+
+    fn job(seed: u64) -> JobSpec {
+        JobSpec::new(WorkloadSpec::builder("engine-test").seed(seed).blocks(64).build(), 1_000)
+    }
+
+    #[test]
+    fn batch_dedup_simulates_once() {
+        let engine = SweepEngine::new(2);
+        let jobs = vec![job(1), job(1), job(1)];
+        let out = engine.run(&jobs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        let stats = engine.stats();
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.cache.hits, 2);
+    }
+
+    #[test]
+    fn cross_batch_caching() {
+        let engine = SweepEngine::new(1);
+        let _ = engine.run(&[job(5)]);
+        assert_eq!(engine.stats().simulated, 1);
+        let _ = engine.run(&[job(5)]);
+        let stats = engine.stats();
+        assert_eq!(stats.simulated, 1, "second batch must be served from cache");
+        assert_eq!(stats.cache.hits, 1);
+    }
+}

@@ -1,0 +1,830 @@
+//! Paper figure/table generators on top of the sweep engine.
+//!
+//! Each `fig*` / `table*` function submits its whole grid (baselines and
+//! variants for all workloads) to a shared [`SweepEngine`] as one batch,
+//! so points shard across the worker pool and anything already simulated
+//! by an earlier figure comes from the result cache. `st repro` runs all
+//! of them against one engine; the legacy `st-bench` binaries wrap single
+//! figures around a private engine.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use st_core::{average_comparison, compare, Comparison, Experiment, SimReport};
+use st_pipeline::PipelineConfig;
+use st_power::{ClockGating, PowerConfig, Unit};
+use st_report::{BarChart, Table};
+use st_workloads::WorkloadInfo;
+
+use crate::engine::SweepEngine;
+use crate::job::{EstimatorChoice, JobSpec};
+
+/// Shared context for figure generation: the engine plus the harness
+/// parameters the legacy binaries read from the environment.
+#[derive(Debug)]
+pub struct FigureCtx<'a> {
+    /// The engine figures submit their grids to.
+    pub engine: &'a SweepEngine,
+    /// Dynamic instruction budget per simulation point.
+    pub instructions: u64,
+    /// Workloads to run (the paper's eight by default).
+    pub workloads: Vec<WorkloadInfo>,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl<'a> FigureCtx<'a> {
+    /// Builds the default context: the eight paper workloads, instruction
+    /// budget from `ST_BENCH_INSTR` (default 200 000), CSVs in `results/`.
+    #[must_use]
+    pub fn from_env(engine: &'a SweepEngine) -> FigureCtx<'a> {
+        let instructions = std::env::var("ST_BENCH_INSTR")
+            .ok()
+            .and_then(|v| v.replace('_', "").parse().ok())
+            .unwrap_or(200_000);
+        FigureCtx {
+            engine,
+            instructions,
+            workloads: st_workloads::all(),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// A baseline job for `spec` at `config`.
+    fn baseline_job(&self, spec: &st_isa::WorkloadSpec, config: &PipelineConfig) -> JobSpec {
+        JobSpec::new(spec.clone(), self.instructions).with_config(config.clone())
+    }
+
+    /// Writes a table to `<out_dir>/<name>.csv`, warning on I/O errors
+    /// without failing the experiment.
+    pub fn save_csv(&self, table: &Table, name: &str) {
+        let path = self.out_dir.join(format!("{name}.csv"));
+        if let Err(e) = st_report::write_csv(table, &path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("  [csv] {}", path.display());
+        }
+    }
+}
+
+/// One experiment's per-benchmark comparisons plus the average (the
+/// contents of one row of a Figure 3/4/5 panel).
+#[derive(Debug, Clone)]
+pub struct PanelRow {
+    /// Experiment id (e.g. "A5").
+    pub id: String,
+    /// Figure legend label.
+    pub label: String,
+    /// Per-workload comparisons, in workload order.
+    pub per_workload: Vec<(String, Comparison)>,
+    /// Arithmetic-mean comparison (the paper's "Average" bars).
+    pub average: Comparison,
+}
+
+/// Runs baselines plus a whole experiment group as **one batch** and
+/// produces the figure panel rows.
+#[must_use]
+pub fn run_panel(
+    ctx: &FigureCtx<'_>,
+    config: &PipelineConfig,
+    experiments: &[Experiment],
+) -> (Vec<Arc<SimReport>>, Vec<PanelRow>) {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for info in &ctx.workloads {
+        jobs.push(ctx.baseline_job(&info.spec, config));
+    }
+    for e in experiments {
+        for info in &ctx.workloads {
+            jobs.push(ctx.baseline_job(&info.spec, config).with_experiment(e.clone()));
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let n = ctx.workloads.len();
+    let baselines: Vec<Arc<SimReport>> = results[..n].to_vec();
+    let rows = experiments
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let reports = &results[n * (i + 1)..n * (i + 2)];
+            panel_row(e, &baselines, reports)
+        })
+        .collect();
+    (baselines, rows)
+}
+
+fn panel_row(e: &Experiment, baselines: &[Arc<SimReport>], reports: &[Arc<SimReport>]) -> PanelRow {
+    let per_workload: Vec<(String, Comparison)> =
+        baselines.iter().zip(reports).map(|(b, r)| (b.workload.clone(), compare(b, r))).collect();
+    let average = average_comparison(&per_workload.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    PanelRow { id: e.id.to_string(), label: e.label.to_string(), per_workload, average }
+}
+
+/// Formats a figure panel (one metric across experiments × workloads) as
+/// a table: rows = experiments, columns = workloads + Average.
+#[must_use]
+pub fn panel_table(
+    title: &str,
+    rows: &[PanelRow],
+    metric: impl Fn(&Comparison) -> f64,
+    precision: usize,
+    unit: &str,
+) -> Table {
+    let mut headers = vec!["exp".to_string(), "policy".to_string()];
+    if let Some(first) = rows.first() {
+        headers.extend(first.per_workload.iter().map(|(w, _)| w.clone()));
+    }
+    headers.push("Average".to_string());
+    let mut t = Table::new(headers).with_title(format!("{title} ({unit})"));
+    for row in rows {
+        let mut cells = vec![row.id.clone(), row.label.clone()];
+        cells.extend(row.per_workload.iter().map(|(_, c)| format!("{:.precision$}", metric(c))));
+        cells.push(format!("{:.precision$}", metric(&row.average)));
+        t.row(cells);
+    }
+    t
+}
+
+/// The four metric panels of a Figure 3/4/5-style figure, printed and
+/// saved under the context's output directory.
+pub fn emit_figure(ctx: &FigureCtx<'_>, fig: &str, rows: &[PanelRow]) {
+    let speedup = panel_table(
+        &format!("{fig}: speedup (relative performance, 1.0 = baseline)"),
+        rows,
+        |c| c.speedup,
+        3,
+        "x",
+    );
+    let power =
+        panel_table(&format!("{fig}: power savings"), rows, |c| c.power_savings_pct, 1, "%");
+    let energy =
+        panel_table(&format!("{fig}: energy savings"), rows, |c| c.energy_savings_pct, 1, "%");
+    let ed = panel_table(
+        &format!("{fig}: energy-delay improvement"),
+        rows,
+        |c| c.ed_improvement_pct,
+        1,
+        "%",
+    );
+    for t in [&speedup, &power, &energy, &ed] {
+        println!("{}", t.render());
+    }
+    ctx.save_csv(&speedup, &format!("{fig}_speedup"));
+    ctx.save_csv(&power, &format!("{fig}_power"));
+    ctx.save_csv(&energy, &format!("{fig}_energy"));
+    ctx.save_csv(&ed, &format!("{fig}_ed"));
+}
+
+/// Paper-published average values for easy side-by-side printing.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperAverage {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Energy savings (%).
+    pub energy: f64,
+    /// E-D improvement (%), where published.
+    pub ed: Option<f64>,
+}
+
+/// Paper averages quoted in §5.2 for the experiments it calls out.
+#[must_use]
+pub fn paper_averages() -> std::collections::BTreeMap<&'static str, PaperAverage> {
+    let entries = [
+        PaperAverage { id: "A1", energy: 5.2, ed: None },
+        PaperAverage { id: "A2", energy: 6.6, ed: None },
+        PaperAverage { id: "A3", energy: 9.2, ed: None },
+        PaperAverage { id: "A5", energy: 11.7, ed: Some(8.6) },
+        PaperAverage { id: "A6", energy: 12.3, ed: Some(0.0) },
+        PaperAverage { id: "A7", energy: 11.0, ed: Some(3.5) },
+        PaperAverage { id: "B1", energy: 7.1, ed: None },
+        PaperAverage { id: "B2", energy: 8.2, ed: None },
+        PaperAverage { id: "B3", energy: 7.5, ed: Some(-5.0) },
+        PaperAverage { id: "B7", energy: 11.9, ed: Some(7.8) },
+        PaperAverage { id: "C2", energy: 13.5, ed: Some(8.5) },
+        PaperAverage { id: "C7", energy: 11.0, ed: Some(3.5) },
+    ];
+    entries.into_iter().map(|p| (p.id, p)).collect()
+}
+
+/// Prints measured-vs-paper average lines for the experiments the paper
+/// quotes explicitly.
+pub fn print_paper_comparison(rows: &[PanelRow]) {
+    let paper = paper_averages();
+    println!("paper-vs-measured (average energy savings / E-D improvement, %):");
+    for row in rows {
+        if let Some(p) = paper.get(row.id.as_str()) {
+            let ed = p.ed.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "n/a".to_string());
+            println!(
+                "  {:<3} paper {:+.1} / {:>5}   measured {:+.1} / {:+.1}",
+                row.id,
+                p.energy,
+                ed,
+                row.average.energy_savings_pct,
+                row.average.ed_improvement_pct
+            );
+        }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// The figures and tables themselves.
+// ---------------------------------------------------------------------
+
+/// Table 1: power breakdown per unit and mis-speculation waste.
+pub fn table1(ctx: &FigureCtx<'_>) {
+    const PAPER: [(&str, f64, f64); 11] = [
+        ("icache", 10.0, 6.4),
+        ("bpred", 3.8, 1.4),
+        ("regfile", 1.6, 0.2),
+        ("rename", 1.1, 0.5),
+        ("window", 18.2, 5.6),
+        ("lsq", 1.9, 0.2),
+        ("alu", 8.7, 1.0),
+        ("dcache", 10.6, 1.1),
+        ("dcache2", 0.7, 0.0),
+        ("resultbus", 9.5, 1.9),
+        ("clock", 33.8, 9.5),
+    ];
+    let config = PipelineConfig::paper_default();
+    println!(
+        "Table 1 reproduction: {} workloads x {} instructions, 14-stage pipeline, cc3\n",
+        ctx.workloads.len(),
+        ctx.instructions
+    );
+    let jobs: Vec<JobSpec> =
+        ctx.workloads.iter().map(|i| ctx.baseline_job(&i.spec, &config)).collect();
+    let reports = ctx.engine.run(&jobs);
+
+    let n = reports.len() as f64;
+    let mut t = Table::new(vec![
+        "unit",
+        "share % (paper)",
+        "share % (measured)",
+        "wasted % of overall (paper)",
+        "wasted % of overall (measured)",
+    ])
+    .with_title("Table 1: power breakdown and mis-speculation waste");
+    let mut total_wasted = 0.0;
+    for (unit, (name, p_share, p_waste)) in Unit::all().iter().zip(PAPER) {
+        debug_assert_eq!(unit.name(), name);
+        let share = 100.0 * reports.iter().map(|r| r.energy.unit_share(*unit)).sum::<f64>() / n;
+        let waste =
+            100.0 * reports.iter().map(|r| r.energy.unit_wasted_of_total(*unit)).sum::<f64>() / n;
+        total_wasted += waste;
+        t.row(vec![
+            name.to_string(),
+            format!("{p_share:.1}"),
+            format!("{share:.1}"),
+            format!("{p_waste:.1}"),
+            format!("{waste:.1}"),
+        ]);
+    }
+    let avg_power = reports.iter().map(|r| r.energy.avg_power()).sum::<f64>() / n;
+    t.row(vec![
+        "TOTAL".into(),
+        "100.0".into(),
+        format!("({avg_power:.1} W avg)"),
+        "27.9".into(),
+        format!("{total_wasted:.1}"),
+    ]);
+    println!("{}", t.render());
+    ctx.save_csv(&t, "table1");
+
+    let mut aux = Table::new(vec!["workload", "IPC", "mpr %", "wrong-path fetch %", "wasted %"])
+        .with_title("per-workload baseline detail");
+    for r in &reports {
+        aux.row(vec![
+            r.workload.clone(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.1}", 100.0 * r.perf.mispredict_rate()),
+            format!("{:.1}", 100.0 * r.perf.wrong_path_fetch_frac()),
+            format!("{:.1}", 100.0 * r.energy.wasted_frac()),
+        ]);
+    }
+    println!("{}", aux.render());
+    ctx.save_csv(&aux, "table1_detail");
+}
+
+/// Figure 1: the oracle fetch / decode / select potential study.
+pub fn fig1_oracle(ctx: &FigureCtx<'_>) {
+    const PAPER: [(&str, f64, f64, f64, f64); 3] = [
+        ("OF", 5.0, 21.0, 24.0, 28.0),
+        ("OD", 3.0, 13.7, 16.0, 19.0),
+        ("OS", 1.0, 8.7, 10.0, 11.0),
+    ];
+    let config = PipelineConfig::paper_default();
+    println!("Figure 1 reproduction: oracle modes, {} instructions/workload\n", ctx.instructions);
+    let (_, rows) = run_panel(ctx, &config, &st_core::experiments::oracles());
+
+    let mut t = Table::new(vec![
+        "oracle",
+        "speedup % (paper~)",
+        "speedup % (meas)",
+        "power % (paper)",
+        "power % (meas)",
+        "energy % (paper~)",
+        "energy % (meas)",
+        "E-D % (paper~)",
+        "E-D % (meas)",
+    ])
+    .with_title("Figure 1: oracle fetch/decode/select savings (averages)");
+    let mut chart = BarChart::new("Figure 1: measured energy savings by oracle mode", "%");
+    for (row, (id, p_sp, p_pw, p_en, p_ed)) in rows.iter().zip(PAPER) {
+        debug_assert_eq!(row.id, id);
+        let sp = (row.average.speedup - 1.0) * 100.0;
+        t.row(vec![
+            row.label.clone(),
+            format!("{p_sp:.1}"),
+            format!("{sp:.1}"),
+            format!("{p_pw:.1}"),
+            format!("{:.1}", row.average.power_savings_pct),
+            format!("{p_en:.1}"),
+            format!("{:.1}", row.average.energy_savings_pct),
+            format!("{p_ed:.1}"),
+            format!("{:.1}", row.average.ed_improvement_pct),
+        ]);
+        chart.bar(row.label.clone(), row.average.energy_savings_pct);
+    }
+    println!("{}", t.render());
+    println!("{}", chart.render());
+    ctx.save_csv(&t, "fig1_oracle");
+}
+
+/// Table 2: benchmark characteristics (no simulation jobs; measures the
+/// calibrated gshare miss rates directly, one thread per workload).
+pub fn table2_workloads(ctx: &FigureCtx<'_>) {
+    println!("Table 2 reproduction: workload characteristics\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "suite",
+        "paper instr (M)",
+        "paper cond.br (M)",
+        "paper gshare-8KB miss %",
+        "measured miss %",
+        "static instrs",
+        "branch/instr",
+    ])
+    .with_title("Table 2: benchmark characteristics (paper vs synthetic stand-in)");
+
+    let measurements: Vec<(f64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ctx
+            .workloads
+            .iter()
+            .map(|info| {
+                scope.spawn(move || {
+                    let program = info.spec.generate();
+                    let measured = st_workloads::measure_gshare_miss_rate_warm(
+                        &info.spec,
+                        400_000,
+                        800_000,
+                        8 * 1024,
+                    );
+                    let mut walker = st_isa::Walker::new(&program);
+                    let branches = walker.skip(&program, 200_000);
+                    (measured, program.instr_count() as u64, branches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("measurement thread panicked")).collect()
+    });
+    for (info, (measured, static_instrs, branches)) in ctx.workloads.iter().zip(measurements) {
+        t.row(vec![
+            info.spec.name.clone(),
+            info.suite.to_string(),
+            info.paper_instructions_m.to_string(),
+            info.paper_branches_m.to_string(),
+            format!("{:.1}", 100.0 * info.paper_miss_rate),
+            format!("{:.1}", 100.0 * measured),
+            static_instrs.to_string(),
+            format!("{:.3}", branches as f64 / 200_000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    ctx.save_csv(&t, "table2");
+}
+
+/// §4.3 estimator quality: SPEC/PVN of BPRU-style vs JRS.
+pub fn conf_metrics(ctx: &FigureCtx<'_>) {
+    let config = PipelineConfig::paper_default();
+    println!(
+        "§4.3 estimator quality: SPEC/PVN over committed branches, {} instructions/workload\n",
+        ctx.instructions
+    );
+    let mut jobs = Vec::new();
+    for info in &ctx.workloads {
+        let base = ctx.baseline_job(&info.spec, &config);
+        jobs.push(base.clone().with_estimator(EstimatorChoice::Saturating(
+            st_bpred::SaturatingConfig {
+                bytes: config.estimator_bytes,
+                ..st_bpred::SaturatingConfig::paper_default()
+            },
+        )));
+        jobs.push(base.with_estimator(EstimatorChoice::Jrs { bytes: config.estimator_bytes }));
+    }
+    let results = ctx.engine.run(&jobs);
+
+    let mut t = Table::new(vec![
+        "workload",
+        "BPRU SPEC %",
+        "BPRU PVN %",
+        "BPRU low-label %",
+        "JRS SPEC %",
+        "JRS PVN %",
+        "JRS low-label %",
+    ])
+    .with_title("confidence estimator quality (paper: BPRU 60/45, JRS 90/24)");
+    let mut sums = [0.0f64; 6];
+    for (info, pair) in ctx.workloads.iter().zip(results.chunks(2)) {
+        let (bpru, jrs) = (&pair[0], &pair[1]);
+        let vals = [
+            100.0 * bpru.conf.spec(),
+            100.0 * bpru.conf.pvn(),
+            100.0 * bpru.conf.low_labeled() as f64 / bpru.conf.total().max(1) as f64,
+            100.0 * jrs.conf.spec(),
+            100.0 * jrs.conf.pvn(),
+            100.0 * jrs.conf.low_labeled() as f64 / jrs.conf.total().max(1) as f64,
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        t.row(
+            std::iter::once(info.spec.name.clone())
+                .chain(vals.iter().map(|v| format!("{v:.1}")))
+                .collect(),
+        );
+    }
+    let n = ctx.workloads.len() as f64;
+    t.row(
+        std::iter::once("Average".to_string())
+            .chain(sums.iter().map(|s| format!("{:.1}", s / n)))
+            .collect(),
+    );
+    println!("{}", t.render());
+    println!("paper averages: BPRU-style SPEC 60.0 PVN 45.0 | JRS SPEC 90.0 PVN 24.0\n");
+    ctx.save_csv(&t, "conf_metrics");
+}
+
+/// Figure 3: fetch throttling (A1–A7).
+pub fn fig3_fetch(ctx: &FigureCtx<'_>) {
+    println!(
+        "Figure 3 reproduction: fetch throttling, {} instructions/workload\n",
+        ctx.instructions
+    );
+    let (_, rows) =
+        run_panel(ctx, &PipelineConfig::paper_default(), &st_core::experiments::group_a());
+    emit_figure(ctx, "fig3", &rows);
+    print_paper_comparison(&rows);
+}
+
+/// Figure 4: decode throttling (B1–B9).
+pub fn fig4_decode(ctx: &FigureCtx<'_>) {
+    println!(
+        "Figure 4 reproduction: decode throttling, {} instructions/workload\n",
+        ctx.instructions
+    );
+    let (_, rows) =
+        run_panel(ctx, &PipelineConfig::paper_default(), &st_core::experiments::group_b());
+    emit_figure(ctx, "fig4", &rows);
+    print_paper_comparison(&rows);
+}
+
+/// Figure 5: selection throttling (C1–C7) plus the no-select ablation.
+pub fn fig5_select(ctx: &FigureCtx<'_>) {
+    println!(
+        "Figure 5 reproduction: selection throttling, {} instructions/workload\n",
+        ctx.instructions
+    );
+    let (_, rows) =
+        run_panel(ctx, &PipelineConfig::paper_default(), &st_core::experiments::group_c());
+    emit_figure(ctx, "fig5", &rows);
+    print_paper_comparison(&rows);
+
+    println!("selection-throttling ablation (energy savings %, average):");
+    for (with, without) in [("C2", "C1"), ("C4", "C3"), ("C6", "C5")] {
+        let w = rows.iter().find(|r| r.id == with).expect("row exists");
+        let wo = rows.iter().find(|r| r.id == without).expect("row exists");
+        println!(
+            "  {without} {:.1} -> {with} {:.1} (no-select adds {:+.1}; paper: about +2)",
+            wo.average.energy_savings_pct,
+            w.average.energy_savings_pct,
+            w.average.energy_savings_pct - wo.average.energy_savings_pct
+        );
+    }
+    println!();
+}
+
+/// Figure 6: pipeline-depth sensitivity of C2.
+pub fn fig6_depth(ctx: &FigureCtx<'_>) {
+    const PAPER: [(u32, f64, f64); 3] = [(6, 11.0, 5.4), (14, 13.5, 8.5), (28, 17.2, 12.0)];
+    let depths = [6u32, 10, 14, 18, 22, 28];
+    println!(
+        "Figure 6 reproduction: pipeline depth sweep {:?}, {} instructions/workload\n",
+        depths, ctx.instructions
+    );
+    let mut t = Table::new(vec![
+        "depth",
+        "speedup",
+        "power savings %",
+        "energy savings %",
+        "E-D improv %",
+        "baseline wasted %",
+    ])
+    .with_title("Figure 6: C2 vs baseline across pipeline depths (averages)");
+
+    // One batch across every depth: 6 depths x 8 workloads x {BASE, C2}.
+    let mut jobs = Vec::new();
+    for depth in depths {
+        let config = PipelineConfig::with_depth(depth);
+        for info in &ctx.workloads {
+            jobs.push(ctx.baseline_job(&info.spec, &config));
+        }
+        for info in &ctx.workloads {
+            jobs.push(
+                ctx.baseline_job(&info.spec, &config).with_experiment(st_core::experiments::c2()),
+            );
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let n = ctx.workloads.len();
+    for (i, depth) in depths.iter().enumerate() {
+        let start = i * 2 * n;
+        let baselines = &results[start..start + n];
+        let c2s = &results[start + n..start + 2 * n];
+        let row = panel_row(&st_core::experiments::c2(), baselines, c2s);
+        let wasted = 100.0 * baselines.iter().map(|b| b.energy.wasted_frac()).sum::<f64>()
+            / baselines.len() as f64;
+        t.row(vec![
+            depth.to_string(),
+            format!("{:.3}", row.average.speedup),
+            format!("{:.1}", row.average.power_savings_pct),
+            format!("{:.1}", row.average.energy_savings_pct),
+            format!("{:.1}", row.average.ed_improvement_pct),
+            format!("{:.1}", wasted),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper anchors (depth, energy %, E-D %):");
+    for (d, e, ed) in PAPER {
+        println!("  {d:>2} stages: {e:.1} / {ed:.1}");
+    }
+    println!();
+    ctx.save_csv(&t, "fig6_depth");
+}
+
+/// Figure 7: predictor + estimator size sensitivity of C2 at equal total
+/// hardware (baseline: whole budget on the predictor; ST: half and half).
+pub fn fig7_size(ctx: &FigureCtx<'_>) {
+    let sizes_kb = [8usize, 16, 32, 64];
+    println!(
+        "Figure 7 reproduction: total predictor+estimator size sweep {:?} KB, {} instructions/workload\n",
+        sizes_kb, ctx.instructions
+    );
+    let mut t = Table::new(vec![
+        "total size KB",
+        "speedup",
+        "power savings %",
+        "energy savings %",
+        "E-D improv %",
+        "baseline mpr %",
+        "C2 mpr %",
+    ])
+    .with_title("Figure 7: C2 vs equal-size baseline (averages)");
+
+    let mut jobs = Vec::new();
+    for kb in sizes_kb {
+        let total = kb * 1024;
+        let mut base_cfg = PipelineConfig::paper_default();
+        base_cfg.predictor_bytes = total;
+        base_cfg.estimator_bytes = total / 2; // present but unused by the null controller
+        let mut st_cfg = PipelineConfig::paper_default();
+        st_cfg.predictor_bytes = total / 2;
+        st_cfg.estimator_bytes = total / 2;
+        for info in &ctx.workloads {
+            jobs.push(ctx.baseline_job(&info.spec, &base_cfg));
+        }
+        for info in &ctx.workloads {
+            jobs.push(
+                ctx.baseline_job(&info.spec, &st_cfg).with_experiment(st_core::experiments::c2()),
+            );
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let n = ctx.workloads.len();
+    for (i, kb) in sizes_kb.iter().enumerate() {
+        let start = i * 2 * n;
+        let baselines = &results[start..start + n];
+        let c2s = &results[start + n..start + 2 * n];
+        let comparisons: Vec<Comparison> =
+            baselines.iter().zip(c2s).map(|(b, r)| compare(b, r)).collect();
+        let avg = average_comparison(&comparisons);
+        let nf = n as f64;
+        let base_mpr: f64 = baselines.iter().map(|r| r.perf.mispredict_rate()).sum();
+        let c2_mpr: f64 = c2s.iter().map(|r| r.perf.mispredict_rate()).sum();
+        t.row(vec![
+            kb.to_string(),
+            format!("{:.3}", avg.speedup),
+            format!("{:.1}", avg.power_savings_pct),
+            format!("{:.1}", avg.energy_savings_pct),
+            format!("{:.1}", avg.ed_improvement_pct),
+            format!("{:.1}", 100.0 * base_mpr / nf),
+            format!("{:.1}", 100.0 * c2_mpr / nf),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper anchors: power 20.3 % (8 KB) -> 16.5 % (64 KB); energy 11-12 %; E-D 4-5 %\n");
+    ctx.save_csv(&t, "fig7_size");
+}
+
+/// Design-choice ablations: clock-gating style, estimator training and
+/// the Pipeline Gating threshold.
+pub fn ablations(ctx: &FigureCtx<'_>) {
+    let config = PipelineConfig::paper_default();
+    println!("design-choice ablations, {} instructions/workload\n", ctx.instructions);
+
+    // 1. Clock gating: cc3 vs cc0.
+    let mut t = Table::new(vec!["power model", "C2 speedup", "C2 energy %", "C2 E-D %"])
+        .with_title("ablation 1: clock-gating style (paper uses cc3)");
+    let gatings = [
+        ("cc3 (10% idle floor)", ClockGating::paper_default()),
+        ("cc0 (no gating)", ClockGating::None),
+    ];
+    let mut jobs = Vec::new();
+    for (_, gating) in &gatings {
+        let power = PowerConfig { gating: *gating, ..PowerConfig::paper_default() };
+        for info in &ctx.workloads {
+            jobs.push(ctx.baseline_job(&info.spec, &config).with_power(power.clone()));
+        }
+        for info in &ctx.workloads {
+            jobs.push(
+                ctx.baseline_job(&info.spec, &config)
+                    .with_power(power.clone())
+                    .with_experiment(st_core::experiments::c2()),
+            );
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let n = ctx.workloads.len();
+    for (i, (name, _)) in gatings.iter().enumerate() {
+        let start = i * 2 * n;
+        let cmps: Vec<Comparison> = results[start..start + n]
+            .iter()
+            .zip(&results[start + n..start + 2 * n])
+            .map(|(b, r)| compare(b, r))
+            .collect();
+        let avg = average_comparison(&cmps);
+        t.row(vec![
+            (*name).to_string(),
+            format!("{:.3}", avg.speedup),
+            format!("{:+.1}", avg.energy_savings_pct),
+            format!("{:+.1}", avg.ed_improvement_pct),
+        ]);
+    }
+    println!("{}", t.render());
+    ctx.save_csv(&t, "ablation_gating");
+
+    // 2. Estimator training asymmetry.
+    let mut t = Table::new(vec![
+        "estimator config",
+        "C2 speedup",
+        "C2 energy %",
+        "C2 E-D %",
+        "SPEC %",
+        "PVN %",
+    ])
+    .with_title("ablation 2: confidence-estimator training (default: inc2/dec2, no merge)");
+    let est_configs = [
+        (
+            "inc2/dec1 (sticky labels)",
+            st_bpred::SaturatingConfig {
+                dec_on_correct: 1,
+                ..st_bpred::SaturatingConfig::paper_default()
+            },
+        ),
+        ("inc2/dec2 (default)", st_bpred::SaturatingConfig::paper_default()),
+        (
+            "inc2/dec2 + weak merge",
+            st_bpred::SaturatingConfig {
+                merge_weak: true,
+                ..st_bpred::SaturatingConfig::paper_default()
+            },
+        ),
+        (
+            "inc2/dec2 + history index",
+            st_bpred::SaturatingConfig {
+                use_history: true,
+                ..st_bpred::SaturatingConfig::paper_default()
+            },
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for info in &ctx.workloads {
+        jobs.push(ctx.baseline_job(&info.spec, &config));
+    }
+    for (_, est_cfg) in &est_configs {
+        for info in &ctx.workloads {
+            jobs.push(
+                ctx.baseline_job(&info.spec, &config)
+                    .with_experiment(st_core::experiments::c2())
+                    .with_estimator(EstimatorChoice::Saturating(*est_cfg)),
+            );
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let baselines = &results[..n];
+    for (i, (name, _)) in est_configs.iter().enumerate() {
+        let c2s = &results[n * (i + 1)..n * (i + 2)];
+        let cmps: Vec<Comparison> = baselines.iter().zip(c2s).map(|(b, r)| compare(b, r)).collect();
+        let avg = average_comparison(&cmps);
+        let nf = n as f64;
+        let spec_sum: f64 = c2s.iter().map(|r| r.conf.spec()).sum();
+        let pvn_sum: f64 = c2s.iter().map(|r| r.conf.pvn()).sum();
+        t.row(vec![
+            (*name).to_string(),
+            format!("{:.3}", avg.speedup),
+            format!("{:+.1}", avg.energy_savings_pct),
+            format!("{:+.1}", avg.ed_improvement_pct),
+            format!("{:.1}", 100.0 * spec_sum / nf),
+            format!("{:.1}", 100.0 * pvn_sum / nf),
+        ]);
+    }
+    println!("{}", t.render());
+    ctx.save_csv(&t, "ablation_estimator");
+
+    // 3. Pipeline Gating threshold sensitivity.
+    let mut t = Table::new(vec!["gating threshold", "speedup", "energy %", "E-D %"])
+        .with_title("ablation 3: Pipeline Gating threshold (paper: 2)");
+    let thresholds = [1u32, 2, 3, 4];
+    let mut jobs = Vec::new();
+    for info in &ctx.workloads {
+        jobs.push(ctx.baseline_job(&info.spec, &config));
+    }
+    for &threshold in &thresholds {
+        let e = Experiment {
+            id: "A7",
+            label: "gating",
+            kind: st_core::ExperimentKind::Gating { threshold },
+        };
+        for info in &ctx.workloads {
+            jobs.push(ctx.baseline_job(&info.spec, &config).with_experiment(e.clone()));
+        }
+    }
+    let results = ctx.engine.run(&jobs);
+    let baselines = &results[..n];
+    for (i, threshold) in thresholds.iter().enumerate() {
+        let reports = &results[n * (i + 1)..n * (i + 2)];
+        let cmps: Vec<Comparison> =
+            baselines.iter().zip(reports).map(|(b, r)| compare(b, r)).collect();
+        let avg = average_comparison(&cmps);
+        t.row(vec![
+            threshold.to_string(),
+            format!("{:.3}", avg.speedup),
+            format!("{:+.1}", avg.energy_savings_pct),
+            format!("{:+.1}", avg.ed_improvement_pct),
+        ]);
+    }
+    println!("{}", t.render());
+    ctx.save_csv(&t, "ablation_gating_threshold");
+}
+
+/// A figure/table generator: submits its grid to the context's engine.
+pub type FigureFn = fn(&FigureCtx<'_>);
+
+/// Name → generator mapping for every figure/table (`st repro` order).
+pub const ALL_FIGURES: [(&str, FigureFn); 10] = [
+    ("table1", table1),
+    ("fig1_oracle", fig1_oracle),
+    ("table2_workloads", table2_workloads),
+    ("conf_metrics", conf_metrics),
+    ("fig3_fetch", fig3_fetch),
+    ("fig4_decode", fig4_decode),
+    ("fig5_select", fig5_select),
+    ("fig6_depth", fig6_depth),
+    ("fig7_size", fig7_size),
+    ("ablations", ablations),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_runs_on_tiny_budget_and_caches_baselines() {
+        let engine = SweepEngine::new(2);
+        let mut ctx = FigureCtx::from_env(&engine);
+        ctx.instructions = 2_000;
+        ctx.workloads.truncate(2);
+        let cfg = PipelineConfig::paper_default();
+        let (baselines, rows) = run_panel(&ctx, &cfg, &[st_core::experiments::a5()]);
+        assert_eq!(baselines.len(), 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].per_workload.len(), 2);
+        // A second panel over the same config reuses all baselines.
+        let before = engine.stats().simulated;
+        let (_, rows2) = run_panel(&ctx, &cfg, &[st_core::experiments::a6()]);
+        assert_eq!(rows2[0].id, "A6");
+        assert_eq!(engine.stats().simulated, before + 2, "only the A6 points are new");
+        let t = panel_table("t", &rows, |c| c.energy_savings_pct, 1, "%");
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("A5"));
+    }
+}

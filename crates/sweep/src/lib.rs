@@ -1,0 +1,59 @@
+//! # st-sweep — parallel, cache-aware experiment sweeps
+//!
+//! The seed reproduction ran every figure as its own single-threaded
+//! binary, re-simulating overlapping configurations from scratch. This
+//! crate turns full-paper reproduction (and arbitrary what-if studies)
+//! into one fast, declarative operation:
+//!
+//! * **[`JobSpec`]** — one fully-specified simulation point (workload ×
+//!   experiment × pipeline/power config × estimator × budget) with a
+//!   content-hash [`JobSpec::fingerprint`];
+//! * **[`SweepEngine`]** — a deterministic parallel executor: jobs shard
+//!   across a worker pool, results assemble in submission order, and a
+//!   fingerprint-keyed [`ResultCache`] simulates each distinct point
+//!   exactly once per engine lifetime. Thread count cannot influence any
+//!   result bit;
+//! * **[`SweepSpec`]** — a declarative workload × experiment ×
+//!   config-axis grid, buildable in code or parsed from a small TOML/JSON
+//!   document;
+//! * **[`emit`]** — JSON-lines, CSV and `st-report` table emitters;
+//! * **[`figures`]** — every paper figure/table expressed as a grid
+//!   submitted to a shared engine;
+//! * the **`st`** binary — `st repro` regenerates the whole paper in one
+//!   parallel pass, `st run spec.toml` executes ad-hoc sweeps, `st list`
+//!   shows what is available.
+//!
+//! ## Example
+//!
+//! ```
+//! use st_sweep::{JobSpec, SweepEngine};
+//!
+//! let engine = SweepEngine::new(2);
+//! let go = st_workloads::by_name("go").expect("known workload");
+//! let jobs: Vec<JobSpec> = [st_core::experiments::baseline(), st_core::experiments::c2()]
+//!     .into_iter()
+//!     .map(|e| JobSpec::new(go.clone(), 5_000).with_experiment(e))
+//!     .collect();
+//! let reports = engine.run(&jobs);
+//! let cmp = st_core::compare(&reports[0], &reports[1]);
+//! assert!(cmp.energy_savings_pct > -100.0);
+//! // Running the same grid again is served entirely from the cache.
+//! let again = engine.run(&jobs);
+//! assert_eq!(reports, again);
+//! assert_eq!(engine.stats().simulated, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod emit;
+pub mod engine;
+pub mod figures;
+pub mod job;
+pub mod spec;
+
+pub use cache::{CacheStats, ResultCache};
+pub use engine::{EngineStats, SweepEngine};
+pub use job::{EstimatorChoice, JobSpec};
+pub use spec::{all_experiments, experiment_by_id, SpecError, SweepSpec};

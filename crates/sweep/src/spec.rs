@@ -1,0 +1,492 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names a grid: workloads × experiments × configuration
+//! axes (pipeline depth, predictor/estimator budgets) at a fixed
+//! instruction budget. It can be built in code or parsed from a small
+//! TOML or JSON document (auto-detected), e.g.:
+//!
+//! ```toml
+//! name = "depth-sweep"
+//! workloads = ["go", "gcc"]
+//! experiments = ["C2", "A7"]
+//! depths = [6, 14, 28]
+//! instructions = 50000
+//! ```
+//!
+//! ```json
+//! { "name": "quick", "workloads": ["go"], "experiments": ["C2"] }
+//! ```
+//!
+//! The vendored environment has no serde/toml, so parsing is a minimal
+//! built-in reader covering flat `key = value` TOML and flat JSON objects
+//! with scalar/array values — exactly the shape of a sweep spec.
+
+use st_core::Experiment;
+use st_pipeline::PipelineConfig;
+
+use crate::job::JobSpec;
+
+/// Errors produced while parsing or resolving a sweep spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// A declarative workload × experiment × config-axis grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (used for output file names).
+    pub name: String,
+    /// Workload names (empty = the paper's eight).
+    pub workloads: Vec<String>,
+    /// Experiment ids ("A5", "C2", "OF", …; empty = C2 only).
+    pub experiments: Vec<String>,
+    /// Pipeline depths to sweep (empty = the paper's 14).
+    pub depths: Vec<u32>,
+    /// Branch-predictor budgets in KB (empty = the paper's 8).
+    pub predictor_kb: Vec<u32>,
+    /// Confidence-estimator budgets in KB (empty = the paper's 8).
+    pub estimator_kb: Vec<u32>,
+    /// Dynamic instruction budget per point.
+    pub instructions: u64,
+    /// Whether to add a baseline point per (workload, config) for
+    /// speedup/energy comparisons.
+    pub baseline: bool,
+}
+
+impl Default for SweepSpec {
+    fn default() -> SweepSpec {
+        SweepSpec {
+            name: "sweep".to_string(),
+            workloads: Vec::new(),
+            experiments: Vec::new(),
+            depths: Vec::new(),
+            predictor_kb: Vec::new(),
+            estimator_kb: Vec::new(),
+            instructions: 200_000,
+            baseline: true,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Parses a spec from TOML (`key = value` lines) or JSON (flat
+    /// object), auto-detected from the first non-whitespace character.
+    pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
+        let trimmed = text.trim_start();
+        let pairs = if trimmed.starts_with('{') {
+            parse_json_object(text)?
+        } else {
+            parse_toml_lite(text)?
+        };
+        let mut spec = SweepSpec::default();
+        for (key, value) in pairs {
+            spec.apply(&key, value)?;
+        }
+        Ok(spec)
+    }
+
+    fn apply(&mut self, key: &str, value: Value) -> Result<(), SpecError> {
+        match key {
+            "name" => self.name = value.into_string(key)?,
+            "workloads" => self.workloads = value.into_string_vec(key)?,
+            "experiments" => self.experiments = value.into_string_vec(key)?,
+            "depths" => self.depths = value.into_num_vec(key)?,
+            "predictor_kb" => self.predictor_kb = value.into_num_vec(key)?,
+            "estimator_kb" => self.estimator_kb = value.into_num_vec(key)?,
+            "instructions" => self.instructions = value.into_u64(key)?,
+            "baseline" => self.baseline = value.into_bool(key)?,
+            other => return err(format!("unknown key `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into concrete jobs (baselines first per config
+    /// axis point, then experiments in declaration order).
+    pub fn jobs(&self) -> Result<Vec<JobSpec>, SpecError> {
+        let workloads = self.resolve_workloads()?;
+        let experiments = self.resolve_experiments()?;
+        let depths = if self.depths.is_empty() { vec![14] } else { self.depths.clone() };
+        let pred_kb =
+            if self.predictor_kb.is_empty() { vec![8] } else { self.predictor_kb.clone() };
+        let est_kb = if self.estimator_kb.is_empty() { vec![8] } else { self.estimator_kb.clone() };
+
+        let mut jobs = Vec::new();
+        for &depth in &depths {
+            if depth < 6 {
+                return err(format!("depth {depth} below the 6-stage minimum"));
+            }
+            for &pkb in &pred_kb {
+                for &ekb in &est_kb {
+                    let mut config = PipelineConfig::with_depth(depth);
+                    config.predictor_bytes = pkb as usize * 1024;
+                    config.estimator_bytes = ekb as usize * 1024;
+                    for workload in &workloads {
+                        if self.baseline {
+                            jobs.push(
+                                JobSpec::new(workload.clone(), self.instructions)
+                                    .with_config(config.clone()),
+                            );
+                        }
+                        for experiment in &experiments {
+                            jobs.push(
+                                JobSpec::new(workload.clone(), self.instructions)
+                                    .with_config(config.clone())
+                                    .with_experiment(experiment.clone()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Resolved workload specs (the paper's eight when unspecified).
+    pub fn resolve_workloads(&self) -> Result<Vec<st_isa::WorkloadSpec>, SpecError> {
+        if self.workloads.is_empty() {
+            return Ok(st_workloads::all().into_iter().map(|i| i.spec).collect());
+        }
+        self.workloads
+            .iter()
+            .map(|name| {
+                st_workloads::by_name(name)
+                    .ok_or_else(|| SpecError(format!("unknown workload `{name}`")))
+            })
+            .collect()
+    }
+
+    /// Resolved experiments (C2 when unspecified).
+    pub fn resolve_experiments(&self) -> Result<Vec<Experiment>, SpecError> {
+        if self.experiments.is_empty() {
+            return Ok(vec![st_core::experiments::c2()]);
+        }
+        self.experiments
+            .iter()
+            .map(|id| {
+                experiment_by_id(id).ok_or_else(|| SpecError(format!("unknown experiment `{id}`")))
+            })
+            .collect()
+    }
+}
+
+/// Looks up a paper experiment by id (case-insensitive): `BASE`, `A1`–`A7`,
+/// `B1`–`B9`, `C1`–`C7`, `OF`, `OD`, `OS`.
+#[must_use]
+pub fn experiment_by_id(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+/// Every named experiment of the paper, baseline and oracles included.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    use st_core::experiments as ex;
+    let mut all = vec![ex::baseline()];
+    all.extend(ex::group_a());
+    all.extend(ex::group_b());
+    all.extend(ex::group_c());
+    all.extend(ex::oracles());
+    all
+}
+
+// ---------------------------------------------------------------------
+// Minimal value model + parsers.
+// ---------------------------------------------------------------------
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Arr(Vec<Value>),
+}
+
+impl Value {
+    fn into_string(self, key: &str) -> Result<String, SpecError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => err(format!("`{key}` expects a string, got {other:?}")),
+        }
+    }
+
+    fn into_bool(self, key: &str) -> Result<bool, SpecError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            other => err(format!("`{key}` expects a bool, got {other:?}")),
+        }
+    }
+
+    fn into_u64(self, key: &str) -> Result<u64, SpecError> {
+        match self {
+            Value::Num(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
+            other => err(format!("`{key}` expects a non-negative integer, got {other:?}")),
+        }
+    }
+
+    fn into_string_vec(self, key: &str) -> Result<Vec<String>, SpecError> {
+        match self {
+            Value::Arr(items) => items.into_iter().map(|v| v.into_string(key)).collect(),
+            Value::Str(s) => Ok(vec![s]),
+            other => err(format!("`{key}` expects an array of strings, got {other:?}")),
+        }
+    }
+
+    fn into_num_vec<T: TryFrom<u64>>(self, key: &str) -> Result<Vec<T>, SpecError> {
+        let items = match self {
+            Value::Arr(items) => items,
+            single @ Value::Num(_) => vec![single],
+            other => return err(format!("`{key}` expects an array of integers, got {other:?}")),
+        };
+        items
+            .into_iter()
+            .map(|v| {
+                let n = v.into_u64(key)?;
+                T::try_from(n).map_err(|_| SpecError(format!("`{key}` value {n} out of range")))
+            })
+            .collect()
+    }
+}
+
+fn parse_scalar(token: &str) -> Result<Value, SpecError> {
+    let token = token.trim();
+    if let Some(stripped) = token.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return err(format!("unterminated string: {token}"));
+        };
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned = token.replace('_', "");
+    cleaned.parse::<f64>().map(Value::Num).or_else(|_| err(format!("cannot parse value `{token}`")))
+}
+
+fn parse_value(token: &str) -> Result<Value, SpecError> {
+    let token = token.trim();
+    if let Some(inner) = token.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return err(format!("unterminated array: {token}"));
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::Arr(Vec::new()));
+        }
+        return split_top_level(body, ',')
+            .into_iter()
+            .map(|item| parse_scalar(&item))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Value::Arr);
+    }
+    parse_scalar(token)
+}
+
+/// Splits on `sep` outside of double quotes.
+fn split_top_level(text: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in text.chars() {
+        if c == '"' {
+            in_str = !in_str;
+        }
+        if c == sep && !in_str {
+            parts.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Strips a `#` comment that starts outside of a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_lite(text: &str) -> Result<Vec<(String, Value)>, SpecError> {
+    let mut pairs = Vec::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+            continue; // blank, comment or (ignored) section header
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(format!("expected `key = value`, got `{line}`"));
+        };
+        pairs.push((key.trim().to_string(), parse_value(value)?));
+    }
+    Ok(pairs)
+}
+
+fn parse_json_object(text: &str) -> Result<Vec<(String, Value)>, SpecError> {
+    let body = text.trim();
+    let Some(body) = body.strip_prefix('{').and_then(|b| b.strip_suffix('}')) else {
+        return err("JSON spec must be a single object".to_string());
+    };
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Arrays in a flat spec contain only scalars, so splitting member
+    // boundaries needs bracket *depth*, not full recursion.
+    let mut pairs = Vec::new();
+    for member in split_members(body) {
+        let member = member.trim();
+        if member.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = split_colon(member) else {
+            return err(format!("expected `\"key\": value`, got `{member}`"));
+        };
+        let key = key.trim();
+        let Some(key) = key.strip_prefix('"').and_then(|k| k.strip_suffix('"')) else {
+            return err(format!("JSON keys must be quoted, got `{key}`"));
+        };
+        pairs.push((key.to_string(), parse_value(value.trim())?));
+    }
+    Ok(pairs)
+}
+
+/// Splits JSON object members on commas outside strings and brackets.
+fn split_members(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in body.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Splits `"key": value` on the first colon outside strings.
+fn split_colon(member: &str) -> Option<(&str, &str)> {
+    let mut in_str = false;
+    for (i, c) in member.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ':' if !in_str => return Some((&member[..i], &member[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_toml_lite() {
+        let spec = SweepSpec::parse(
+            r#"
+            # depth sensitivity
+            name = "depth-sweep"
+            workloads = ["go", "gcc"]
+            experiments = ["C2", "A7"]
+            depths = [6, 14, 28]
+            instructions = 50_000
+            baseline = true
+            "#,
+        )
+        .expect("parse");
+        assert_eq!(spec.name, "depth-sweep");
+        assert_eq!(spec.workloads, vec!["go", "gcc"]);
+        assert_eq!(spec.experiments, vec!["C2", "A7"]);
+        assert_eq!(spec.depths, vec![6, 14, 28]);
+        assert_eq!(spec.instructions, 50_000);
+        assert!(spec.baseline);
+    }
+
+    #[test]
+    fn parses_json() {
+        let spec = SweepSpec::parse(
+            r#"{ "name": "quick", "workloads": ["go"], "experiments": ["C2", "OF"],
+                 "predictor_kb": [8, 16], "baseline": false, "instructions": 9000 }"#,
+        )
+        .expect("parse");
+        assert_eq!(spec.name, "quick");
+        assert_eq!(spec.experiments, vec!["C2", "OF"]);
+        assert_eq!(spec.predictor_kb, vec![8, 16]);
+        assert!(!spec.baseline);
+        assert_eq!(spec.instructions, 9_000);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_values() {
+        assert!(SweepSpec::parse("bogus = 1").is_err());
+        assert!(SweepSpec::parse("instructions = \"many\"").is_err());
+        assert!(SweepSpec::parse(r#"{ "workloads": "go" "#).is_err());
+    }
+
+    #[test]
+    fn grid_expansion_counts() {
+        let spec = SweepSpec {
+            workloads: vec!["go".into(), "gcc".into()],
+            experiments: vec!["C2".into(), "A5".into()],
+            depths: vec![6, 14],
+            instructions: 1_000,
+            ..SweepSpec::default()
+        };
+        // 2 depths x 2 workloads x (1 baseline + 2 experiments) = 12
+        let jobs = spec.jobs().expect("jobs");
+        assert_eq!(jobs.len(), 12);
+        assert!(jobs.iter().any(|j| j.config.depth == 6));
+        assert!(jobs.iter().any(|j| j.experiment.id == "A5"));
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let bad_workload = SweepSpec { workloads: vec!["nope".into()], ..SweepSpec::default() };
+        assert!(bad_workload.jobs().is_err());
+        let bad_experiment = SweepSpec { experiments: vec!["Z9".into()], ..SweepSpec::default() };
+        assert!(bad_experiment.jobs().is_err());
+    }
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        for id in ["BASE", "A1", "A7", "B9", "C2", "C7", "OF", "OD", "OS"] {
+            assert!(experiment_by_id(id).is_some(), "{id} missing");
+        }
+        assert!(experiment_by_id("c2").is_some(), "lookup is case-insensitive");
+        assert_eq!(all_experiments().len(), 1 + 7 + 9 + 7 + 3);
+    }
+}

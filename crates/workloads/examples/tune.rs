@@ -15,7 +15,9 @@ fn main() {
         let warmup = 400_000u64;
         for i in 0..warmup + 800_000 {
             let arch = walker.next_instr(&program);
-            if arch.instr.op != OpClass::Branch { continue; }
+            if arch.instr.op != OpClass::Branch {
+                continue;
+            }
             let b = arch.branch.unwrap();
             let cat = match program.branch_model(b).behavior() {
                 BranchBehavior::Loop { .. } => 0,
@@ -28,17 +30,28 @@ fn main() {
             let pred = gshare.predict(arch.pc, history.value());
             if i >= warmup {
                 occ[cat] += 1;
-                if pred.taken != taken { miss[cat] += 1; }
+                if pred.taken != taken {
+                    miss[cat] += 1;
+                }
             }
             gshare.update(arch.pc, history.value(), taken, pred.taken);
             history.push(taken);
         }
         let total: u64 = occ.iter().sum();
         let misses: u64 = miss.iter().sum();
-        print!("{:<9} target {:.3} rate {:.3} |", spec.name, info.paper_miss_rate, misses as f64 / total as f64);
+        print!(
+            "{:<9} target {:.3} rate {:.3} |",
+            spec.name,
+            info.paper_miss_rate,
+            misses as f64 / total as f64
+        );
         for (i, name) in ["loop", "pat", "bias", "mkv", "alt"].iter().enumerate() {
             if occ[i] > 0 {
-                print!(" {name}: {:.0}%occ {:.1}%miss", 100.0 * occ[i] as f64 / total as f64, 100.0 * miss[i] as f64 / occ[i] as f64);
+                print!(
+                    " {name}: {:.0}%occ {:.1}%miss",
+                    100.0 * occ[i] as f64 / total as f64,
+                    100.0 * miss[i] as f64 / occ[i] as f64
+                );
             }
         }
         println!(" | br/instr {:.3}", total as f64 / 800_000.0);

@@ -121,13 +121,25 @@ mod tests {
             .seed(2)
             .blocks(512)
             .loop_trip((4, 10))
-            .mix(BranchMix { loops: 1.0, patterns: 0.3, biased: 0.0, markov: 0.0, alternating: 0.0 })
+            .mix(BranchMix {
+                loops: 1.0,
+                patterns: 0.3,
+                biased: 0.0,
+                markov: 0.0,
+                alternating: 0.0,
+            })
             .build();
         let hard = WorkloadSpec::builder("hard")
             .seed(2)
             .blocks(512)
             .loop_trip((4, 10))
-            .mix(BranchMix { loops: 0.2, patterns: 0.1, biased: 2.0, markov: 0.0, alternating: 0.0 })
+            .mix(BranchMix {
+                loops: 0.2,
+                patterns: 0.1,
+                biased: 2.0,
+                markov: 0.0,
+                alternating: 0.0,
+            })
             .hard_bias_spread(0.1)
             .build();
         let easy_rate = measure_gshare_miss_rate(&easy, 100_000, 8 * 1024);
@@ -151,7 +163,13 @@ mod tests {
         let base = WorkloadSpec::builder("cal-target")
             .seed(4)
             .blocks(512)
-            .mix(BranchMix { loops: 0.3, patterns: 0.1, biased: 0.8, markov: 0.0, alternating: 0.0 })
+            .mix(BranchMix {
+                loops: 0.3,
+                patterns: 0.1,
+                biased: 0.8,
+                markov: 0.0,
+                alternating: 0.0,
+            })
             .build();
         let mut easiest = base.clone();
         easiest.hard_bias_spread = 0.5;
@@ -177,7 +195,13 @@ mod tests {
             .seed(5)
             .blocks(512)
             .loop_trip((8, 16))
-            .mix(BranchMix { loops: 0.15, patterns: 0.1, biased: 2.0, markov: 0.0, alternating: 0.0 })
+            .mix(BranchMix {
+                loops: 0.15,
+                patterns: 0.1,
+                biased: 2.0,
+                markov: 0.0,
+                alternating: 0.0,
+            })
             .build();
         easy.hard_bias_spread = 0.45;
         let mut hard = easy.clone();

@@ -45,7 +45,13 @@ pub fn compress() -> WorkloadSpec {
         .seed(0x636f_6d70)
         .blocks(1200)
         .mean_block_len(7.0)
-        .mix(BranchMix { loops: 0.35, patterns: 0.20, biased: 0.36, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.35,
+            patterns: 0.20,
+            biased: 0.36,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -66,7 +72,13 @@ pub fn gcc() -> WorkloadSpec {
         .mean_block_len(6.0)
         .branch_frac(0.76)
         .jump_frac(0.10)
-        .mix(BranchMix { loops: 0.32, patterns: 0.25, biased: 0.18, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.32,
+            patterns: 0.25,
+            biased: 0.18,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -86,7 +98,13 @@ pub fn go() -> WorkloadSpec {
         .blocks(10_000)
         .mean_block_len(6.5)
         .branch_frac(0.74)
-        .mix(BranchMix { loops: 0.20, patterns: 0.15, biased: 0.58, markov: 0.06, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.20,
+            patterns: 0.15,
+            biased: 0.58,
+            markov: 0.06,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -105,7 +123,13 @@ pub fn bzip2() -> WorkloadSpec {
         .seed(0x627a_6970)
         .blocks(1500)
         .mean_block_len(8.0)
-        .mix(BranchMix { loops: 0.40, patterns: 0.25, biased: 0.24, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.40,
+            patterns: 0.25,
+            biased: 0.24,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -124,7 +148,13 @@ pub fn crafty() -> WorkloadSpec {
         .seed(0x6372_6166)
         .blocks(4000)
         .mean_block_len(7.0)
-        .mix(BranchMix { loops: 0.38, patterns: 0.30, biased: 0.09, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.38,
+            patterns: 0.30,
+            biased: 0.09,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -142,7 +172,13 @@ pub fn gzip() -> WorkloadSpec {
         .seed(0x677a_6970)
         .blocks(1500)
         .mean_block_len(8.0)
-        .mix(BranchMix { loops: 0.38, patterns: 0.24, biased: 0.34, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.38,
+            patterns: 0.24,
+            biased: 0.34,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -161,7 +197,13 @@ pub fn parser() -> WorkloadSpec {
         .seed(0x7061_7273)
         .blocks(3000)
         .mean_block_len(7.0)
-        .mix(BranchMix { loops: 0.42, patterns: 0.30, biased: 0.05, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.42,
+            patterns: 0.30,
+            biased: 0.05,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -180,7 +222,13 @@ pub fn twolf() -> WorkloadSpec {
         .seed(0x7477_6f6c)
         .blocks(3000)
         .mean_block_len(6.5)
-        .mix(BranchMix { loops: 0.30, patterns: 0.20, biased: 0.30, markov: 0.05, alternating: 0.0 })
+        .mix(BranchMix {
+            loops: 0.30,
+            patterns: 0.20,
+            biased: 0.30,
+            markov: 0.05,
+            alternating: 0.0,
+        })
         .loop_trip((3, 9))
         .outer_trip((8, 32))
         .markov_stay((0.90, 0.97))
@@ -274,7 +322,7 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::calibrate::{measure_gshare_miss_rate, measure_gshare_miss_rate_warm};
+    use crate::calibrate::measure_gshare_miss_rate_warm;
 
     #[test]
     fn all_profiles_present_and_named() {
@@ -308,7 +356,10 @@ mod tests {
         let rates: Vec<(String, f64)> = all()
             .into_iter()
             .map(|i| {
-                (i.spec.name.clone(), measure_gshare_miss_rate_warm(&i.spec, 200_000, 400_000, 8 * 1024))
+                (
+                    i.spec.name.clone(),
+                    measure_gshare_miss_rate_warm(&i.spec, 200_000, 400_000, 8 * 1024),
+                )
             })
             .collect();
         let rate = |n: &str| rates.iter().find(|(name, _)| name == n).unwrap().1;

@@ -13,10 +13,7 @@ use selective_throttling::workloads;
 fn main() {
     let instructions = 150_000;
     let workload = workloads::compress();
-    println!(
-        "confidence quality on '{}' ({instructions} instructions)\n",
-        workload.name
-    );
+    println!("confidence quality on '{}' ({instructions} instructions)\n", workload.name);
 
     let bpru = Simulator::builder()
         .workload(workload.clone())

@@ -25,31 +25,49 @@ fn main() {
     // Candidate policies, from gentle to brutal, including ones the paper
     // never evaluated (e.g. HC-level throttling, decode-only stalls).
     let candidates: Vec<(&str, ThrottlePolicy)> = vec![
-        ("gentle   (LC f/2)", ThrottlePolicy::low_only(ThrottleAction::fetch(Half), ThrottleAction::fetch(Half))),
-        ("paper C2 (LC f/4+ns, VLC f=0)", ThrottlePolicy::low_only(
-            ThrottleAction::fetch(Quarter).with_no_select(),
-            ThrottleAction::fetch(Stall),
-        )),
-        ("decode-only (LC d/4, VLC d=0)", ThrottlePolicy::low_only(
-            ThrottleAction::fetch_decode(Full, Quarter),
-            ThrottleAction::fetch_decode(Full, Stall),
-        )),
-        ("select-only (LC ns, VLC ns)", ThrottlePolicy::low_only(
-            ThrottleAction::NONE.with_no_select(),
-            ThrottleAction::NONE.with_no_select(),
-        )),
-        ("hc-too   (HC f/2, LC f/4, VLC f=0)", ThrottlePolicy {
-            vhc: ThrottleAction::NONE,
-            hc: ThrottleAction::fetch(Half),
-            lc: ThrottleAction::fetch(Quarter),
-            vlc: ThrottleAction::fetch(Stall),
-        }),
-        ("brutal   (all f=0)", ThrottlePolicy {
-            vhc: ThrottleAction::NONE,
-            hc: ThrottleAction::fetch(Stall),
-            lc: ThrottleAction::fetch(Stall),
-            vlc: ThrottleAction::fetch(Stall),
-        }),
+        (
+            "gentle   (LC f/2)",
+            ThrottlePolicy::low_only(ThrottleAction::fetch(Half), ThrottleAction::fetch(Half)),
+        ),
+        (
+            "paper C2 (LC f/4+ns, VLC f=0)",
+            ThrottlePolicy::low_only(
+                ThrottleAction::fetch(Quarter).with_no_select(),
+                ThrottleAction::fetch(Stall),
+            ),
+        ),
+        (
+            "decode-only (LC d/4, VLC d=0)",
+            ThrottlePolicy::low_only(
+                ThrottleAction::fetch_decode(Full, Quarter),
+                ThrottleAction::fetch_decode(Full, Stall),
+            ),
+        ),
+        (
+            "select-only (LC ns, VLC ns)",
+            ThrottlePolicy::low_only(
+                ThrottleAction::NONE.with_no_select(),
+                ThrottleAction::NONE.with_no_select(),
+            ),
+        ),
+        (
+            "hc-too   (HC f/2, LC f/4, VLC f=0)",
+            ThrottlePolicy {
+                vhc: ThrottleAction::NONE,
+                hc: ThrottleAction::fetch(Half),
+                lc: ThrottleAction::fetch(Quarter),
+                vlc: ThrottleAction::fetch(Stall),
+            },
+        ),
+        (
+            "brutal   (all f=0)",
+            ThrottlePolicy {
+                vhc: ThrottleAction::NONE,
+                hc: ThrottleAction::fetch(Stall),
+                lc: ThrottleAction::fetch(Stall),
+                vlc: ThrottleAction::fetch(Stall),
+            },
+        ),
     ];
 
     println!("policy frontier on '{}' ({instructions} instructions):\n", workload.name);

@@ -44,6 +44,9 @@ fn main() {
     println!("\nC2 vs baseline:");
     println!("  speedup            {:.3}  (1.0 = unchanged)", cmp.speedup);
     println!("  power savings      {:+.1}%", cmp.power_savings_pct);
-    println!("  energy savings     {:+.1}%  (paper: 13.5% avg, up to 19.2% for go)", cmp.energy_savings_pct);
+    println!(
+        "  energy savings     {:+.1}%  (paper: 13.5% avg, up to 19.2% for go)",
+        cmp.energy_savings_pct
+    );
     println!("  E-D improvement    {:+.1}%  (paper: 8.5% avg)", cmp.ed_improvement_pct);
 }

@@ -18,20 +18,13 @@ fn run(spec: &WorkloadSpec, e: st_core::Experiment) -> st_core::SimReport {
 fn wasted_energy_fraction_matches_paper_band() {
     let go = run(&st_workloads::go(), experiments::baseline());
     let parser = run(&st_workloads::parser(), experiments::baseline());
-    assert!(
-        go.energy.wasted_frac() > 0.25,
-        "go must waste >25% ({:.3})",
-        go.energy.wasted_frac()
-    );
+    assert!(go.energy.wasted_frac() > 0.25, "go must waste >25% ({:.3})", go.energy.wasted_frac());
     assert!(
         parser.energy.wasted_frac() > 0.10,
         "parser must waste >10% ({:.3})",
         parser.energy.wasted_frac()
     );
-    assert!(
-        go.energy.wasted_frac() > parser.energy.wasted_frac(),
-        "harder workload wastes more"
-    );
+    assert!(go.energy.wasted_frac() > parser.energy.wasted_frac(), "harder workload wastes more");
 }
 
 /// Figure 1: oracle fetch saves power in the paper's ~15-30% band on the
@@ -81,10 +74,7 @@ fn c2_headline_on_go() {
     let spec = st_workloads::go();
     let base = run(&spec, experiments::baseline());
     let c2 = compare(&base, &run(&spec, experiments::c2()));
-    assert!(
-        c2.energy_savings_pct > 10.0,
-        "C2 energy savings on go out of band: {c2:?}"
-    );
+    assert!(c2.energy_savings_pct > 10.0, "C2 energy savings on go out of band: {c2:?}");
     assert!(c2.ed_improvement_pct > 0.0, "C2 must improve E-D on go: {c2:?}");
 }
 
@@ -138,11 +128,7 @@ fn pipeline_mispredict_rates_track_table2() {
     let parser = run(&st_workloads::parser(), experiments::baseline());
     let crafty = run(&st_workloads::crafty(), experiments::baseline());
     assert!(go.perf.mispredict_rate() > 0.14, "go ({:.3})", go.perf.mispredict_rate());
-    assert!(
-        parser.perf.mispredict_rate() < 0.11,
-        "parser ({:.3})",
-        parser.perf.mispredict_rate()
-    );
+    assert!(parser.perf.mispredict_rate() < 0.11, "parser ({:.3})", parser.perf.mispredict_rate());
     assert!(go.perf.mispredict_rate() > parser.perf.mispredict_rate());
     assert!(go.perf.mispredict_rate() > crafty.perf.mispredict_rate());
 }
