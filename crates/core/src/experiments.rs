@@ -63,6 +63,28 @@ impl Experiment {
         }
     }
 
+    /// Returns this experiment with the Pipeline-Gating threshold replaced.
+    ///
+    /// Only meaningful for [`ExperimentKind::Gating`] experiments; anything
+    /// else is returned unchanged (throttling and oracle machines have no
+    /// gating threshold to vary).
+    #[must_use]
+    pub fn with_gating_threshold(mut self, threshold: u32) -> Experiment {
+        if let ExperimentKind::Gating { threshold: t } = &mut self.kind {
+            *t = threshold;
+        }
+        self
+    }
+
+    /// The Pipeline-Gating threshold, when this is a gating experiment.
+    #[must_use]
+    pub fn gating_threshold(&self) -> Option<u32> {
+        match self.kind {
+            ExperimentKind::Gating { threshold } => Some(threshold),
+            _ => None,
+        }
+    }
+
     /// Instantiates the matching confidence estimator at the given
     /// hardware budget: JRS (MDC threshold 12) for Pipeline Gating, the
     /// BPRU-style four-level estimator for everything else.
@@ -90,6 +112,14 @@ use BandwidthLevel::{Half, Quarter, Stall};
 #[must_use]
 pub fn baseline() -> Experiment {
     Experiment { id: "BASE", label: "no throttling", kind: ExperimentKind::Baseline }
+}
+
+/// Pipeline Gating at an arbitrary threshold (the paper's comparison
+/// machine uses threshold 2; [`a7`]/[`b9`]/[`c7`] are that point under
+/// their figure-specific ids).
+#[must_use]
+pub fn gating(threshold: u32) -> Experiment {
+    a7().with_gating_threshold(threshold)
 }
 
 // ---------------------------------------------------------------------
@@ -435,6 +465,18 @@ mod tests {
         assert!(p2.lc.no_select);
         assert_eq!(p1.lc.fetch, p2.lc.fetch);
         assert_eq!(p1.vlc, p2.vlc);
+    }
+
+    #[test]
+    fn gating_threshold_is_parameterisable() {
+        assert_eq!(a7().gating_threshold(), Some(2));
+        assert_eq!(gating(4).gating_threshold(), Some(4));
+        assert_eq!(gating(4).id, a7().id, "threshold variants keep the paper id");
+        assert_eq!(c7().with_gating_threshold(1).gating_threshold(), Some(1));
+        // Non-gating experiments have no threshold and ignore the setter.
+        assert_eq!(c2().gating_threshold(), None);
+        assert_eq!(c2().with_gating_threshold(9), c2());
+        assert_eq!(baseline().with_gating_threshold(9), baseline());
     }
 
     #[test]

@@ -134,6 +134,50 @@ impl PipelineConfig {
         }
     }
 
+    /// Sets the fetch width, widening the fetch queue if it would
+    /// otherwise be narrower than one fetch group.
+    #[must_use]
+    pub fn with_fetch_width(mut self, width: u32) -> PipelineConfig {
+        self.fetch_width = width;
+        self.ifq_size = self.ifq_size.max(width as usize);
+        self
+    }
+
+    /// Sets the RUU (instruction window) size.
+    #[must_use]
+    pub fn with_ruu_size(mut self, entries: usize) -> PipelineConfig {
+        self.ruu_size = entries;
+        self
+    }
+
+    /// Sets the load/store queue size.
+    #[must_use]
+    pub fn with_lsq_size(mut self, entries: usize) -> PipelineConfig {
+        self.lsq_size = entries;
+        self
+    }
+
+    /// Sets the fetch-queue capacity.
+    #[must_use]
+    pub fn with_ifq_size(mut self, entries: usize) -> PipelineConfig {
+        self.ifq_size = entries;
+        self
+    }
+
+    /// Sets the branch-predictor hardware budget in bytes.
+    #[must_use]
+    pub fn with_predictor_bytes(mut self, bytes: usize) -> PipelineConfig {
+        self.predictor_bytes = bytes;
+        self
+    }
+
+    /// Sets the confidence-estimator hardware budget in bytes.
+    #[must_use]
+    pub fn with_estimator_bytes(mut self, bytes: usize) -> PipelineConfig {
+        self.estimator_bytes = bytes;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -198,6 +242,28 @@ mod tests {
         assert_eq!(d28.front_latency, 22);
         assert_eq!(d28.exec_extra_latency, 2);
         assert_eq!(d28.mem.l1d.hit_latency, 3);
+    }
+
+    #[test]
+    fn setters_update_fields_and_keep_consistency() {
+        let c = PipelineConfig::paper_default()
+            .with_ruu_size(256)
+            .with_lsq_size(128)
+            .with_ifq_size(96)
+            .with_predictor_bytes(16 * 1024)
+            .with_estimator_bytes(4 * 1024)
+            .with_fetch_width(4);
+        assert_eq!(c.ruu_size, 256);
+        assert_eq!(c.lsq_size, 128);
+        assert_eq!(c.ifq_size, 96);
+        assert_eq!(c.predictor_bytes, 16 * 1024);
+        assert_eq!(c.estimator_bytes, 4 * 1024);
+        assert_eq!(c.fetch_width, 4);
+        c.validate();
+        // A wide fetch group grows a too-small fetch queue along with it.
+        let wide = PipelineConfig::paper_default().with_ifq_size(8).with_fetch_width(16);
+        assert_eq!(wide.ifq_size, 16);
+        wide.validate();
     }
 
     #[test]

@@ -88,6 +88,21 @@ impl PowerConfig {
         }
     }
 
+    /// Sets the peak power budget in watts.
+    #[must_use]
+    pub fn with_total_watts(mut self, watts: f64) -> PowerConfig {
+        self.total_watts = watts;
+        self
+    }
+
+    /// Sets the cc3 idle floor (fraction of maximum power an idle unit
+    /// still dissipates). Switches cc0 configurations to cc3.
+    #[must_use]
+    pub fn with_idle_frac(mut self, idle_frac: f64) -> PowerConfig {
+        self.gating = ClockGating::Cc3 { idle_frac };
+        self
+    }
+
     /// Maximum energy one unit can spend in one cycle (joules).
     #[must_use]
     pub fn max_cycle_energy(&self, unit: Unit) -> f64 {
@@ -331,6 +346,20 @@ mod tests {
         let peak_cycle = 56.4 / 1.2e9;
         assert!((idle - peak_cycle).abs() / peak_cycle < 1e-9);
         assert_eq!(m.event_energy(Unit::Alu), 0.0);
+    }
+
+    #[test]
+    fn knob_setters_rescale_the_model() {
+        let cfg = PowerConfig::paper_default().with_total_watts(28.2).with_idle_frac(0.2);
+        assert_eq!(cfg.total_watts, 28.2);
+        assert_eq!(cfg.gating, ClockGating::Cc3 { idle_frac: 0.2 });
+        let m = PowerModel::new(cfg);
+        let idle = m.cycle_energy(&CycleActivity::default());
+        let peak_cycle = 28.2 / 1.2e9;
+        assert!((idle.total / peak_cycle - 0.2).abs() < 1e-6, "idle floor follows the knob");
+        // cc0 flips back to cc3 through the setter.
+        let cc0 = PowerConfig { gating: ClockGating::None, ..PowerConfig::paper_default() };
+        assert_eq!(cc0.with_idle_frac(0.1).gating, ClockGating::paper_default());
     }
 
     #[test]

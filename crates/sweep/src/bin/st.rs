@@ -1,27 +1,40 @@
 //! `st` — the unified sweep CLI.
 //!
 //! ```text
-//! st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH]
+//! st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH] [--no-cache]
 //!     Regenerates every paper figure/table in one parallel, cached pass
 //!     and writes a BENCH_sweep.json perf artifact.
 //!
 //! st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
-//!     Executes a declarative sweep grid; emits JSONL + CSV results and
-//!     baseline comparisons.
+//!        [--set axis=v1,v2]... [--no-cache]
+//!     Executes a declarative sweep grid; emits JSONL + CSV results
+//!     (tagged with each point's axis bindings) and baseline comparisons.
 //!
-//! st list [workloads|experiments|figures]
+//! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
+//!
+//! st cache [clear] [--out DIR]
+//!     Inspects (or clears) the persistent result cache under
+//!     <out>/.cache.
 //! ```
+//!
+//! `repro` and `run` keep a persistent result cache under
+//! `<out>/.cache` by default: entries load on start and every fresh
+//! simulation writes through, so repeated invocations and CI runs reuse
+//! points across processes. `--no-cache` opts a run out entirely.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use st_sweep::emit::{
-    comparison_jsonl, json_escape, json_num, reports_to_jsonl, reports_to_table, write_text,
+    comparison_jsonl_tagged, json_escape, json_num, report_jsonl_tagged, reports_to_table_tagged,
+    write_text,
 };
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
-use st_sweep::{all_experiments, SweepEngine, SweepSpec};
+use st_sweep::{
+    all_experiments, axes, AxisValue, PersistentCache, SweepEngine, SweepPoint, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +42,7 @@ fn main() {
         Some("repro") => cmd_repro(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             0
@@ -45,34 +59,71 @@ const USAGE: &str = "\
 st — parallel, cache-aware sweeps over the Selective Throttling simulator
 
 USAGE:
-    st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH]
+    st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH] [--no-cache]
     st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
-    st list [workloads|experiments|figures]
+           [--set axis=v1,v2]... [--no-cache]
+    st list [workloads|experiments|figures|axes]
+    st cache [clear] [--out DIR]
 
 OPTIONS:
     --threads N      worker threads (default: all hardware threads;
                      results are bit-identical for any value)
-    --instr N        instructions per simulation point
-                     (default: ST_BENCH_INSTR or 200000)
+    --instr N        instructions per simulation point (shorthand for
+                     --set instructions=N; default: ST_BENCH_INSTR or 200000)
+    --set a=v1,v2    bind sweep axis `a` to the given values (repeatable;
+                     overrides the spec — see `st list axes`)
     --out DIR        output directory (default: results/)
+    --no-cache       skip the persistent result cache under <out>/.cache
     --bench-json P   where `repro` writes its perf artifact
                      (default: BENCH_sweep.json)
 ";
 
-/// Options shared by `repro` and `run`.
+/// Options shared by `repro`, `run` and `cache`.
 struct CommonOpts {
     threads: usize,
     instr: Option<u64>,
     out: Option<PathBuf>,
     /// `--bench-json` as given; only `repro` accepts it.
     bench_json: Option<PathBuf>,
+    /// `--set axis=v1,v2` overrides, in order; only `run` accepts them.
+    sets: Vec<String>,
+    /// `--no-cache`: skip the persistent result cache.
+    no_cache: bool,
     /// Non-flag positionals, in order.
     positional: Vec<String>,
 }
 
+impl CommonOpts {
+    /// The output directory (default `results/`).
+    fn out_dir(&self) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| PathBuf::from("results"))
+    }
+
+    /// The persistent cache directory under the output directory.
+    fn cache_dir(&self) -> PathBuf {
+        self.out_dir().join(".cache")
+    }
+
+    /// An engine honouring `--threads` and `--no-cache`.
+    fn engine(&self) -> SweepEngine {
+        if self.no_cache {
+            SweepEngine::new(self.threads)
+        } else {
+            SweepEngine::with_persistent_cache(self.threads, self.cache_dir())
+        }
+    }
+}
+
 fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
-    let mut opts =
-        CommonOpts { threads: 0, instr: None, out: None, bench_json: None, positional: Vec::new() };
+    let mut opts = CommonOpts {
+        threads: 0,
+        instr: None,
+        out: None,
+        bench_json: None,
+        sets: Vec::new(),
+        no_cache: false,
+        positional: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for =
@@ -91,13 +142,36 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
                         .map_err(|_| "--instr expects an integer".to_string())?,
                 );
             }
+            "--set" => opts.sets.push(value_for("--set")?),
             "--out" => opts.out = Some(PathBuf::from(value_for("--out")?)),
+            "--no-cache" => opts.no_cache = true,
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => opts.positional.push(positional.to_string()),
         }
     }
     Ok(opts)
+}
+
+/// Parses one `--set axis=v1,v2` override into a typed binding.
+fn parse_set(arg: &str) -> Result<(String, Vec<AxisValue>), String> {
+    let Some((name, values)) = arg.split_once('=') else {
+        return Err(format!("--set expects `axis=v1,v2`, got `{arg}`"));
+    };
+    let name = name.trim();
+    let axis = axes::axis(name).ok_or_else(|| axes::unknown_axis_error(name).to_string())?;
+    let values: Vec<AxisValue> = values
+        .split(',')
+        .map(|token| {
+            let n: f64 = token
+                .trim()
+                .replace('_', "")
+                .parse()
+                .map_err(|_| format!("--set {name}: cannot parse number `{token}`"))?;
+            axis.value_from_f64(n).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    Ok((name.to_string(), values))
 }
 
 fn cmd_repro(args: &[String]) -> i32 {
@@ -112,22 +186,33 @@ fn cmd_repro(args: &[String]) -> i32 {
         eprintln!("st repro: unexpected argument `{unexpected}`\n{USAGE}");
         return 2;
     }
-    let bench_json_path = opts.bench_json.unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
-    let engine = SweepEngine::new(opts.threads);
+    if !opts.sets.is_empty() {
+        eprintln!("st repro: --set only applies to `st run`\n{USAGE}");
+        return 2;
+    }
+    let bench_json_path =
+        opts.bench_json.clone().unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    let engine = opts.engine();
     let mut ctx = FigureCtx::from_env(&engine);
+    ctx.out_dir = opts.out_dir();
     if let Some(n) = opts.instr {
         ctx.instructions = n;
     }
-    if let Some(out) = opts.out {
-        ctx.out_dir = out;
-    }
     println!(
-        "st repro: {} figures, {} workloads x {} instructions, {} worker threads\n",
+        "st repro: {} figures, {} workloads x {} instructions, {} worker threads",
         ALL_FIGURES.len(),
         ctx.workloads.len(),
         ctx.instructions,
         engine.threads()
     );
+    match engine.persistent_cache() {
+        Some(cache) => println!(
+            "st repro: persistent cache at {} ({} entries loaded)\n",
+            cache.dir().display(),
+            engine.stats().loaded
+        ),
+        None => println!("st repro: persistent cache disabled (--no-cache)\n"),
+    }
 
     let wall = Instant::now();
     let mut timings: Vec<(&str, f64)> = Vec::new();
@@ -148,8 +233,9 @@ fn cmd_repro(args: &[String]) -> i32 {
         println!("  {name:<18} {secs:>8.2}s");
     }
     println!(
-        "  cache: {} distinct points simulated, {} hits / {} misses ({:.1}% hit rate)",
+        "  cache: {} distinct points simulated, {} loaded from disk, {} hits / {} misses ({:.1}% hit rate)",
         stats.simulated,
+        stats.loaded,
         stats.cache.hits,
         stats.cache.misses,
         100.0 * stats.cache.hit_rate()
@@ -186,7 +272,7 @@ fn bench_json(
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"st_repro\",\n  \"unix_time\": {unix_time},\n  \"threads\": {},\n  \"instructions_per_point\": {},\n  \"workloads\": {},\n  \"total_seconds\": {},\n  \"figures\": [{}],\n  \"simulated_points\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"st_repro\",\n  \"unix_time\": {unix_time},\n  \"threads\": {},\n  \"instructions_per_point\": {},\n  \"workloads\": {},\n  \"total_seconds\": {},\n  \"figures\": [{}],\n  \"simulated_points\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"loaded\": {}, \"hit_rate\": {}}}\n}}\n",
         engine.threads(),
         ctx.instructions,
         ctx.workloads.len(),
@@ -196,8 +282,14 @@ fn bench_json(
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.entries,
+        stats.loaded,
         json_num(stats.cache.hit_rate()),
     )
+}
+
+/// JSON/CSV tags for one point's axis bindings (`axis.<name>` keys).
+fn binding_tags(point: &SweepPoint) -> Vec<(String, String)> {
+    point.bindings.iter().map(|(name, value)| (format!("axis.{name}"), value.canonical())).collect()
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -231,37 +323,69 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     };
     if let Some(n) = opts.instr {
-        spec.instructions = n;
+        if let Err(e) = spec.set_axis("instructions", vec![AxisValue::Int(n)]) {
+            eprintln!("st run: {e}");
+            return 1;
+        }
     }
-    let jobs = match spec.jobs() {
-        Ok(j) => j,
+    for set in &opts.sets {
+        let (name, values) = match parse_set(set) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("st run: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = spec.set_axis(&name, values) {
+            eprintln!("st run: {e}");
+            return 1;
+        }
+    }
+    let points = match spec.points() {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("st run: {e}");
             return 1;
         }
     };
-    let engine = SweepEngine::new(opts.threads);
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let engine = opts.engine();
+    let bound: Vec<String> = points
+        .first()
+        .map(|p| p.bindings.iter().map(|(n, _)| (*n).to_string()).collect())
+        .unwrap_or_default();
     println!(
-        "st run: sweep `{}`, {} points x {} instructions, {} worker threads",
+        "st run: sweep `{}`, {} points x {} instructions, {} worker threads{}",
         spec.name,
-        jobs.len(),
-        spec.instructions,
-        engine.threads()
+        points.len(),
+        spec.instructions_label(),
+        engine.threads(),
+        if bound.is_empty() {
+            String::new()
+        } else {
+            format!("\nst run: axes {}", bound.join(" x "))
+        }
     );
     let start = Instant::now();
     let reports = engine.run(&jobs);
     let stats = engine.stats();
     println!(
-        "st run: complete in {:.2}s ({} simulated, {:.1}% cache hit rate)\n",
+        "st run: complete in {:.2}s ({} simulated, {} loaded from disk, {:.1}% cache hit rate)\n",
         start.elapsed().as_secs_f64(),
         stats.simulated,
+        stats.loaded,
         100.0 * stats.cache.hit_rate()
     );
 
-    // Emit raw results.
-    let out_dir = opts.out.unwrap_or_else(|| PathBuf::from("results"));
-    let mut jsonl = reports_to_jsonl(&reports);
-    let table = reports_to_table(&format!("sweep `{}` results", spec.name), &reports);
+    // Emit raw results, tagged with each point's axis bindings.
+    let out_dir = opts.out_dir();
+    let tags: Vec<Vec<(String, String)>> = points.iter().map(binding_tags).collect();
+    let mut jsonl = String::new();
+    for (report, point_tags) in reports.iter().zip(&tags) {
+        jsonl.push_str(&report_jsonl_tagged(report, point_tags));
+        jsonl.push('\n');
+    }
+    let table = reports_to_table_tagged(&format!("sweep `{}` results", spec.name), &reports, &tags);
     println!("{}", table.render());
 
     // Pair every variant with its same-configuration baseline.
@@ -271,17 +395,12 @@ fn cmd_run(args: &[String]) -> i32 {
         .filter(|(_, j)| j.experiment.id == "BASE")
         .map(|(i, j)| (j.fingerprint(), i))
         .collect();
-    let mut cmp_table = st_report::Table::new(vec![
-        "workload",
-        "experiment",
-        "depth",
-        "speedup",
-        "power %",
-        "energy %",
-        "E-D %",
-    ])
-    .with_title(format!("sweep `{}` vs baseline", spec.name));
-    for (job, report) in jobs.iter().zip(&reports) {
+    let mut cmp_headers = vec!["workload".to_string(), "experiment".to_string()];
+    cmp_headers.extend(bound.iter().map(|n| format!("axis.{n}")));
+    cmp_headers.extend(["speedup", "power %", "energy %", "E-D %"].map(String::from));
+    let mut cmp_table =
+        st_report::Table::new(cmp_headers).with_title(format!("sweep `{}` vs baseline", spec.name));
+    for ((job, point), report) in jobs.iter().zip(&points).zip(&reports) {
         if job.experiment.id == "BASE" {
             continue;
         }
@@ -292,17 +411,22 @@ fn cmd_run(args: &[String]) -> i32 {
             .fingerprint();
         let Some(&bi) = baseline_index.get(&base_fp) else { continue };
         let cmp = st_core::compare(&reports[bi], report);
-        jsonl.push_str(&comparison_jsonl(&report.workload, &report.experiment, &cmp));
+        jsonl.push_str(&comparison_jsonl_tagged(
+            &report.workload,
+            &report.experiment,
+            &cmp,
+            &binding_tags(point),
+        ));
         jsonl.push('\n');
-        cmp_table.row(vec![
-            report.workload.clone(),
-            report.experiment.clone(),
-            job.config.depth.to_string(),
+        let mut cells = vec![report.workload.clone(), report.experiment.clone()];
+        cells.extend(point.bindings.iter().map(|(_, v)| v.canonical()));
+        cells.extend([
             format!("{:.3}", cmp.speedup),
             format!("{:+.1}", cmp.power_savings_pct),
             format!("{:+.1}", cmp.energy_savings_pct),
             format!("{:+.1}", cmp.ed_improvement_pct),
         ]);
+        cmp_table.row(cells);
     }
     if !cmp_table.is_empty() {
         println!("{}", cmp_table.render());
@@ -321,6 +445,72 @@ fn cmd_run(args: &[String]) -> i32 {
     println!("  [jsonl] {}", jsonl_path.display());
     println!("  [csv]   {}", csv_path.display());
     0
+}
+
+fn cmd_cache(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st cache: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    // Everything except --out is meaningless here; reject it rather than
+    // silently accepting flags that do nothing.
+    if opts.threads != 0
+        || opts.instr.is_some()
+        || !opts.sets.is_empty()
+        || opts.no_cache
+        || opts.bench_json.is_some()
+    {
+        eprintln!("st cache: only --out applies to `st cache`\n{USAGE}");
+        return 2;
+    }
+    let cache = PersistentCache::new(opts.cache_dir());
+    match opts.positional.first().map(String::as_str) {
+        None | Some("show") => {
+            // One pass over the directory: entries for the breakdown,
+            // summary counters for the header.
+            let (entries, s) = cache.load_with_summary();
+            println!(
+                "cache at {}: {} entries ({} KiB), {} unreadable",
+                cache.dir().display(),
+                s.entries,
+                s.bytes / 1024,
+                s.unreadable
+            );
+            // Per-experiment breakdown: what kinds of points are warm.
+            let mut by_experiment: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for (_, report) in entries {
+                *by_experiment.entry(report.experiment).or_default() += 1;
+            }
+            if !by_experiment.is_empty() {
+                let parts: Vec<String> =
+                    by_experiment.iter().map(|(e, n)| format!("{e} {n}")).collect();
+                println!("  by experiment: {}", parts.join(", "));
+            }
+            println!(
+                "  (per-run hit rates are printed by `st run` / `st repro` and recorded in \
+                 BENCH_sweep.json)"
+            );
+            0
+        }
+        Some("clear") => match cache.clear() {
+            Ok(removed) => {
+                println!("cache at {}: removed {removed} entries", cache.dir().display());
+                0
+            }
+            Err(e) => {
+                eprintln!("st cache: could not clear {}: {e}", cache.dir().display());
+                1
+            }
+        },
+        Some(other) => {
+            eprintln!("st cache: unknown action `{other}` (try `show` or `clear`)");
+            2
+        }
+    }
 }
 
 fn cmd_list(args: &[String]) -> i32 {
@@ -347,6 +537,26 @@ fn cmd_list(args: &[String]) -> i32 {
         println!();
         shown = true;
     }
+    if matches!(what, "all" | "axes") {
+        println!("sweep axes (bind via `axis.<name>` spec keys or `st run --set`):");
+        let header = ["axis", "domain", "default", "paper", "controls"];
+        println!(
+            "  {:<17} {:<12} {:>8}  {:<16} {}",
+            header[0], header[1], header[2], header[3], header[4]
+        );
+        for a in axes::registry() {
+            println!(
+                "  {:<17} {:<12} {:>8}  {:<16} {}",
+                a.name,
+                a.domain.describe(),
+                a.default.canonical(),
+                a.paper,
+                a.summary
+            );
+        }
+        println!();
+        shown = true;
+    }
     if matches!(what, "all" | "figures") {
         println!("figures/tables (`st repro` regenerates all of these):");
         for (name, _) in ALL_FIGURES {
@@ -355,7 +565,7 @@ fn cmd_list(args: &[String]) -> i32 {
         shown = true;
     }
     if !shown {
-        eprintln!("st list: unknown category `{what}` (try workloads|experiments|figures)");
+        eprintln!("st list: unknown category `{what}` (try workloads|experiments|figures|axes)");
         return 2;
     }
     0

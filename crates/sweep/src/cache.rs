@@ -81,6 +81,20 @@ impl ResultCache {
         self.map.lock().expect("cache poisoned").insert(fingerprint, report);
     }
 
+    /// Seeds the cache with entries loaded from elsewhere (the
+    /// persistent on-disk cache) without touching the hit/miss counters,
+    /// returning how many were newly added.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (u64, Arc<SimReport>)>) -> u64 {
+        let mut map = self.map.lock().expect("cache poisoned");
+        let mut added = 0;
+        for (fp, report) in entries {
+            if map.insert(fp, report).is_none() {
+                added += 1;
+            }
+        }
+        added
+    }
+
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -104,6 +118,19 @@ mod tests {
             )
             .run(),
         )
+    }
+
+    #[test]
+    fn preload_seeds_without_counting() {
+        let cache = ResultCache::new();
+        let r = dummy_report();
+        assert_eq!(cache.preload([(7, Arc::clone(&r)), (9, Arc::clone(&r))]), 2);
+        assert_eq!(cache.preload([(7, Arc::clone(&r))]), 0, "already present");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "preload is not a lookup");
+        assert!(cache.get(7).is_some());
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

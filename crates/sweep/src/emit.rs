@@ -97,6 +97,35 @@ pub fn comparison_jsonl(workload: &str, experiment: &str, c: &Comparison) -> Str
     )
 }
 
+/// Per-point tags appended to emitted records: `(key, raw JSON value)`
+/// pairs — `st run` uses them to echo each point's axis bindings
+/// (`axis.depth`, `axis.ruu_size`, …) so downstream tools can group
+/// results by axis without re-deriving the grid.
+pub type Tags = [(String, String)];
+
+fn tag_members(tags: &Tags) -> String {
+    tags.iter().map(|(k, v)| format!(",\"{}\":{}", json_escape(k), v)).collect()
+}
+
+/// [`report_jsonl`] with tags appended as extra members.
+#[must_use]
+pub fn report_jsonl_tagged(r: &SimReport, tags: &Tags) -> String {
+    let base = report_jsonl(r);
+    format!("{}{}}}", &base[..base.len() - 1], tag_members(tags))
+}
+
+/// [`comparison_jsonl`] with tags appended as extra members.
+#[must_use]
+pub fn comparison_jsonl_tagged(
+    workload: &str,
+    experiment: &str,
+    c: &Comparison,
+    tags: &Tags,
+) -> String {
+    let base = comparison_jsonl(workload, experiment, c);
+    format!("{}{}}}", &base[..base.len() - 1], tag_members(tags))
+}
+
 /// Renders a batch of reports as one JSONL document.
 #[must_use]
 pub fn reports_to_jsonl(reports: &[impl std::borrow::Borrow<SimReport>]) -> String {
@@ -112,18 +141,35 @@ pub fn reports_to_jsonl(reports: &[impl std::borrow::Borrow<SimReport>]) -> Stri
 /// JSONL emitter; string quoting stripped).
 #[must_use]
 pub fn reports_to_table(title: &str, reports: &[impl std::borrow::Borrow<SimReport>]) -> Table {
-    let headers: Vec<String> = match reports.first() {
+    let no_tags: Vec<Vec<(String, String)>> = vec![Vec::new(); reports.len()];
+    reports_to_table_tagged(title, reports, &no_tags)
+}
+
+/// [`reports_to_table`] with per-report tag columns appended (every
+/// report must carry the same tag keys — one sweep binds one axis set).
+#[must_use]
+pub fn reports_to_table_tagged(
+    title: &str,
+    reports: &[impl std::borrow::Borrow<SimReport>],
+    tags: &[Vec<(String, String)>],
+) -> Table {
+    debug_assert_eq!(reports.len(), tags.len(), "one tag set per report");
+    let mut headers: Vec<String> = match reports.first() {
         Some(first) => {
             report_fields(first.borrow()).iter().map(|(k, _)| (*k).to_string()).collect()
         }
         None => vec!["workload".to_string()],
     };
+    if let Some(first_tags) = tags.first() {
+        headers.extend(first_tags.iter().map(|(k, _)| k.clone()));
+    }
     let mut t = Table::new(headers).with_title(title.to_string());
-    for r in reports {
+    for (r, row_tags) in reports.iter().zip(tags) {
         t.row(
             report_fields(r.borrow())
                 .into_iter()
                 .map(|(_, v)| v.trim_matches('"').to_string())
+                .chain(row_tags.iter().map(|(_, v)| v.trim_matches('"').to_string()))
                 .collect(),
         );
     }
@@ -164,6 +210,26 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_num(f64::NAN), "null");
         assert_eq!(json_num(1.5), "1.5");
+    }
+
+    #[test]
+    fn tagged_emitters_append_axis_members() {
+        let r = report();
+        let tags = vec![
+            ("axis.depth".to_string(), "14".to_string()),
+            ("axis.idle_frac".into(), "0.1".into()),
+        ];
+        let line = report_jsonl_tagged(&r, &tags);
+        assert!(line.ends_with(",\"axis.depth\":14,\"axis.idle_frac\":0.1}"), "{line}");
+        assert!(line.starts_with("{\"kind\":\"report\","));
+        let cmp = st_core::compare(&r, &r);
+        let cline = comparison_jsonl_tagged("w", "C2", &cmp, &tags);
+        assert!(cline.contains("\"kind\":\"comparison\""));
+        assert!(cline.ends_with(",\"axis.idle_frac\":0.1}"), "{cline}");
+        let t = reports_to_table_tagged("t", &[&r], &[tags]);
+        let csv = t.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("axis.depth,axis.idle_frac"), "{csv}");
+        assert!(csv.lines().nth(1).unwrap().ends_with("14,0.1"), "{csv}");
     }
 
     #[test]

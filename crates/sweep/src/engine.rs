@@ -18,6 +18,7 @@
 //! integration tests assert.
 
 use std::num::NonZeroUsize;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -25,12 +26,15 @@ use st_core::SimReport;
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::job::JobSpec;
+use crate::persist::PersistentCache;
 
 /// Aggregate execution counters of an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Simulations actually executed (cache misses).
     pub simulated: u64,
+    /// Entries preloaded from the persistent on-disk cache.
+    pub loaded: u64,
     /// Cache counters (hits include batch-level dedup).
     pub cache: CacheStats,
 }
@@ -41,6 +45,8 @@ pub struct SweepEngine {
     threads: usize,
     cache: ResultCache,
     simulated: AtomicU64,
+    loaded: u64,
+    persist: Option<PersistentCache>,
 }
 
 impl SweepEngine {
@@ -53,13 +59,40 @@ impl SweepEngine {
         } else {
             threads
         };
-        SweepEngine { threads, cache: ResultCache::new(), simulated: AtomicU64::new(0) }
+        SweepEngine {
+            threads,
+            cache: ResultCache::new(),
+            simulated: AtomicU64::new(0),
+            loaded: 0,
+            persist: None,
+        }
     }
 
     /// An engine sized to the available hardware parallelism.
     #[must_use]
     pub fn auto() -> SweepEngine {
         SweepEngine::new(0)
+    }
+
+    /// An engine backed by the persistent on-disk cache at `dir`
+    /// (conventionally `results/.cache/`): every readable entry is
+    /// preloaded into the in-memory cache, and every freshly simulated
+    /// point is written through, so repeated invocations reuse points
+    /// across processes.
+    #[must_use]
+    pub fn with_persistent_cache(threads: usize, dir: impl AsRef<Path>) -> SweepEngine {
+        let mut engine = SweepEngine::new(threads);
+        let persist = PersistentCache::new(dir.as_ref());
+        engine.loaded =
+            engine.cache.preload(persist.load().into_iter().map(|(fp, r)| (fp, Arc::new(r))));
+        engine.persist = Some(persist);
+        engine
+    }
+
+    /// The persistent cache this engine writes through to, if any.
+    #[must_use]
+    pub fn persistent_cache(&self) -> Option<&PersistentCache> {
+        self.persist.as_ref()
     }
 
     /// Worker-pool size.
@@ -71,7 +104,11 @@ impl SweepEngine {
     /// Execution counters so far.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        EngineStats { simulated: self.simulated.load(Ordering::Relaxed), cache: self.cache.stats() }
+        EngineStats {
+            simulated: self.simulated.load(Ordering::Relaxed),
+            loaded: self.loaded,
+            cache: self.cache.stats(),
+        }
     }
 
     /// Runs a batch of jobs, returning reports in submission order.
@@ -146,6 +183,15 @@ impl SweepEngine {
             .collect();
         for ((fp, _), report) in fresh.iter().zip(&finished) {
             self.cache.insert(*fp, Arc::clone(report));
+            if let Some(persist) = &self.persist {
+                if let Err(e) = persist.store(*fp, report) {
+                    eprintln!(
+                        "warning: could not persist {:016x} under {}: {e}",
+                        fp,
+                        persist.dir().display()
+                    );
+                }
+            }
         }
         slots
             .into_iter()
@@ -177,6 +223,29 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.simulated, 1);
         assert_eq!(stats.cache.hits, 2);
+    }
+
+    #[test]
+    fn persistent_cache_survives_engine_restarts() {
+        let dir = std::env::temp_dir().join(format!("st-engine-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = SweepEngine::with_persistent_cache(2, &dir);
+        assert_eq!(first.stats().loaded, 0, "cold start");
+        let out1 = first.run(&[job(7), job(8)]);
+        assert_eq!(first.stats().simulated, 2);
+
+        // A brand-new engine (a new process, conceptually) preloads both
+        // points and serves them without simulating.
+        let second = SweepEngine::with_persistent_cache(2, &dir);
+        assert_eq!(second.stats().loaded, 2);
+        let out2 = second.run(&[job(7), job(8)]);
+        let stats = second.stats();
+        assert_eq!(stats.simulated, 0, "everything came from disk");
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(out1, out2, "disk round-trip is bit-exact");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -759,11 +759,7 @@ pub fn ablations(ctx: &FigureCtx<'_>) {
         jobs.push(ctx.baseline_job(&info.spec, &config));
     }
     for &threshold in &thresholds {
-        let e = Experiment {
-            id: "A7",
-            label: "gating",
-            kind: st_core::ExperimentKind::Gating { threshold },
-        };
+        let e = st_core::experiments::gating(threshold);
         for info in &ctx.workloads {
             jobs.push(ctx.baseline_job(&info.spec, &config).with_experiment(e.clone()));
         }

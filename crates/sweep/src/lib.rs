@@ -5,6 +5,10 @@
 //! crate turns full-paper reproduction (and arbitrary what-if studies)
 //! into one fast, declarative operation:
 //!
+//! * **[`axes`]** — the typed sweep-axis registry: every sweepable
+//!   machine knob (depth, window/queue sizes, budgets, gating threshold,
+//!   power knobs) as a first-class [`Axis`] with a domain, default and a
+//!   generic apply, so a simulation point is "baseline + bindings";
 //! * **[`JobSpec`]** — one fully-specified simulation point (workload ×
 //!   experiment × pipeline/power config × estimator × budget) with a
 //!   content-hash [`JobSpec::fingerprint`];
@@ -13,15 +17,21 @@
 //!   fingerprint-keyed [`ResultCache`] simulates each distinct point
 //!   exactly once per engine lifetime. Thread count cannot influence any
 //!   result bit;
-//! * **[`SweepSpec`]** — a declarative workload × experiment ×
-//!   config-axis grid, buildable in code or parsed from a small TOML/JSON
-//!   document;
-//! * **[`emit`]** — JSON-lines, CSV and `st-report` table emitters;
+//! * **[`persist`]** — the on-disk result cache
+//!   (`results/.cache/<fingerprint>.json`, bit-exact round-trips);
+//!   [`SweepEngine::with_persistent_cache`] preloads it and writes fresh
+//!   points through, so repeated invocations reuse work across processes;
+//! * **[`SweepSpec`]** — a declarative workload × experiment × axis grid
+//!   (`axis.<name>` keys with legacy aliases), buildable in code or
+//!   parsed from a small TOML/JSON document;
+//! * **[`emit`]** — JSON-lines, CSV and `st-report` table emitters, with
+//!   per-point axis tagging;
 //! * **[`figures`]** — every paper figure/table expressed as a grid
 //!   submitted to a shared engine;
 //! * the **`st`** binary — `st repro` regenerates the whole paper in one
-//!   parallel pass, `st run spec.toml` executes ad-hoc sweeps, `st list`
-//!   shows what is available.
+//!   parallel pass, `st run spec.toml` executes ad-hoc sweeps (`--set`
+//!   overrides any axis), `st list` shows what is available and
+//!   `st cache` inspects the persistent cache.
 //!
 //! ## Example
 //!
@@ -46,14 +56,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod axes;
 pub mod cache;
 pub mod emit;
 pub mod engine;
 pub mod figures;
 pub mod job;
+pub mod persist;
 pub mod spec;
 
+pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};
 pub use cache::{CacheStats, ResultCache};
 pub use engine::{EngineStats, SweepEngine};
 pub use job::{EstimatorChoice, JobSpec};
-pub use spec::{all_experiments, experiment_by_id, SpecError, SweepSpec};
+pub use persist::PersistentCache;
+pub use spec::{all_experiments, experiment_by_id, SpecError, SweepPoint, SweepSpec};

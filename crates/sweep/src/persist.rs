@@ -1,0 +1,593 @@
+//! The persistent on-disk result cache.
+//!
+//! Serialises [`SimReport`]s as single-line JSON under
+//! `<dir>/<fingerprint>.json` (by convention `results/.cache/`), so
+//! repeated `st` invocations and CI runs reuse simulation points across
+//! processes. The engine loads every entry on start and writes each
+//! freshly simulated point through (see
+//! [`SweepEngine::with_persistent_cache`](crate::SweepEngine::with_persistent_cache)).
+//!
+//! Round-trips are **exact**: floats are written with Rust's shortest
+//! round-trip formatting and parsed back bit-identically, so a report
+//! served from disk is indistinguishable from a fresh simulation — the
+//! CI determinism check diffs JSONL output across cached and uncached
+//! runs. Unreadable or version-skewed entries are skipped (treated as
+//! misses), never fatal.
+
+use std::path::{Path, PathBuf};
+
+use st_bpred::{ConfidenceStats, PredictorStats};
+use st_core::SimReport;
+use st_pipeline::{MemSummary, PerfStats};
+use st_power::{EnergyReport, UNIT_COUNT};
+
+use crate::emit::json_escape;
+
+/// Format version; bump when the encoding changes so stale cache dirs
+/// degrade to misses instead of mis-parses.
+const VERSION: u64 = 1;
+
+/// A directory of fingerprint-named report files.
+#[derive(Debug, Clone)]
+pub struct PersistentCache {
+    dir: PathBuf,
+}
+
+/// Aggregate numbers for `st cache`: what the directory holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistSummary {
+    /// Readable entries.
+    pub entries: u64,
+    /// Files that failed to parse (version skew or corruption).
+    pub unreadable: u64,
+    /// Total bytes of all entry files.
+    pub bytes: u64,
+}
+
+impl PersistentCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> PersistentCache {
+        PersistentCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads every readable entry, sorted by fingerprint (deterministic
+    /// regardless of directory iteration order). Unreadable entries are
+    /// skipped.
+    #[must_use]
+    pub fn load(&self) -> Vec<(u64, SimReport)> {
+        self.load_with_summary().0
+    }
+
+    /// [`PersistentCache::load`] plus the directory summary, in one
+    /// directory pass (each entry file is read and parsed once).
+    #[must_use]
+    pub fn load_with_summary(&self) -> (Vec<(u64, SimReport)>, PersistSummary) {
+        let mut out = Vec::new();
+        let mut s = PersistSummary::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return (out, s) };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(fp) = fingerprint_of(&path) else { continue };
+            s.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            match std::fs::read_to_string(&path)
+                .map_err(|_| ())
+                .and_then(|t| report_from_json(&t).map_err(|_| ()))
+            {
+                Ok(report) => {
+                    s.entries += 1;
+                    out.push((fp, report));
+                }
+                Err(()) => s.unreadable += 1,
+            }
+        }
+        out.sort_by_key(|(fp, _)| *fp);
+        (out, s)
+    }
+
+    /// Writes one entry through to disk (atomically: temp file + rename,
+    /// so concurrent runs never observe a torn entry).
+    pub fn store(&self, fingerprint: u64, report: &SimReport) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(".tmp-{fingerprint:016x}-{}", std::process::id()));
+        std::fs::write(&tmp, report_to_json(report))?;
+        std::fs::rename(&tmp, self.entry_path(fingerprint))
+    }
+
+    /// Path of one entry file.
+    #[must_use]
+    pub fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Scans the directory and summarises it (for `st cache`).
+    #[must_use]
+    pub fn summary(&self) -> PersistSummary {
+        self.load_with_summary().1
+    }
+
+    /// Deletes every entry file, returning how many were removed. Also
+    /// sweeps up orphaned `.tmp-*` files left by interrupted stores
+    /// (not counted).
+    pub fn clear(&self) -> std::io::Result<u64> {
+        let mut removed = 0;
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Ok(0) };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if fingerprint_of(&path).is_some() {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(".tmp-"))
+            {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// `<dir>/0123456789abcdef.json` → the fingerprint; anything else `None`.
+fn fingerprint_of(path: &Path) -> Option<u64> {
+    if path.extension()?.to_str()? != "json" {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+// ---------------------------------------------------------------------
+// SimReport <-> JSON (exact round-trip).
+// ---------------------------------------------------------------------
+
+/// Exact float encoding: Rust's shortest round-trip representation
+/// (non-finite values render as `NaN`/`inf`, which [`report_from_json`]
+/// accepts — this is a private cache format, not interchange JSON).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+fn num_array(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| num(*v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn int_array(vs: &[u64]) -> String {
+    let items: Vec<String> = vs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serialises a report as one line of JSON.
+#[must_use]
+pub fn report_to_json(r: &SimReport) -> String {
+    let p = &r.perf;
+    let perf = [
+        p.cycles,
+        p.committed,
+        p.fetched,
+        p.wrong_path_fetched,
+        p.dispatched,
+        p.wrong_path_dispatched,
+        p.issued,
+        p.wrong_path_issued,
+        p.squashed,
+        p.branches_committed,
+        p.mispredicts_committed,
+        p.recoveries,
+        p.fetch_gated_cycles,
+        p.decode_gated_cycles,
+        p.selection_blocked,
+    ];
+    let conf: Vec<u64> = r.conf.counts.iter().flatten().copied().collect();
+    let mem = [r.mem.l1i_miss_rate, r.mem.l1d_miss_rate, r.mem.l2_miss_rate, r.mem.tlb_miss_rate];
+    format!(
+        "{{\"v\":{VERSION},\"workload\":\"{}\",\"experiment\":\"{}\",\"label\":\"{}\",\"perf\":{},\"energy_cycles\":{},\"energy_committed\":{},\"frequency_hz\":{},\"energy\":{},\"per_unit\":{},\"wasted_per_unit\":{},\"bpred\":{},\"conf\":{},\"mem\":{}}}\n",
+        json_escape(&r.workload),
+        json_escape(&r.experiment),
+        json_escape(&r.label),
+        int_array(&perf),
+        r.energy.cycles,
+        r.energy.committed,
+        num(r.energy.frequency_hz),
+        num(r.energy.energy),
+        num_array(&r.energy.per_unit),
+        num_array(&r.energy.wasted_per_unit),
+        int_array(&[r.bpred.predictions, r.bpred.mispredictions]),
+        int_array(&conf),
+        num_array(&mem),
+    )
+}
+
+/// Parses a report serialised by [`report_to_json`].
+pub fn report_from_json(text: &str) -> Result<SimReport, String> {
+    let json = Json::parse(text)?;
+    let obj = json.as_obj()?;
+    if get(obj, "v")?.as_u64()? != VERSION {
+        return Err("unsupported cache entry version".to_string());
+    }
+    let perf_raw = get(obj, "perf")?.as_u64_vec()?;
+    let [cycles, committed, fetched, wrong_path_fetched, dispatched, wrong_path_dispatched, issued, wrong_path_issued, squashed, branches_committed, mispredicts_committed, recoveries, fetch_gated_cycles, decode_gated_cycles, selection_blocked] =
+        perf_raw.as_slice()
+    else {
+        return Err(format!("perf expects 15 counters, got {}", perf_raw.len()));
+    };
+    let perf = PerfStats {
+        cycles: *cycles,
+        committed: *committed,
+        fetched: *fetched,
+        wrong_path_fetched: *wrong_path_fetched,
+        dispatched: *dispatched,
+        wrong_path_dispatched: *wrong_path_dispatched,
+        issued: *issued,
+        wrong_path_issued: *wrong_path_issued,
+        squashed: *squashed,
+        branches_committed: *branches_committed,
+        mispredicts_committed: *mispredicts_committed,
+        recoveries: *recoveries,
+        fetch_gated_cycles: *fetch_gated_cycles,
+        decode_gated_cycles: *decode_gated_cycles,
+        selection_blocked: *selection_blocked,
+    };
+    let energy = EnergyReport {
+        cycles: get(obj, "energy_cycles")?.as_u64()?,
+        committed: get(obj, "energy_committed")?.as_u64()?,
+        frequency_hz: get(obj, "frequency_hz")?.as_f64()?,
+        energy: get(obj, "energy")?.as_f64()?,
+        per_unit: unit_array(get(obj, "per_unit")?)?,
+        wasted_per_unit: unit_array(get(obj, "wasted_per_unit")?)?,
+    };
+    let bpred_raw = get(obj, "bpred")?.as_u64_vec()?;
+    let [predictions, mispredictions] = bpred_raw.as_slice() else {
+        return Err("bpred expects 2 counters".to_string());
+    };
+    let conf_raw = get(obj, "conf")?.as_u64_vec()?;
+    if conf_raw.len() != 8 {
+        return Err("conf expects 8 counters".to_string());
+    }
+    let mut conf = ConfidenceStats::default();
+    for (i, v) in conf_raw.iter().enumerate() {
+        conf.counts[i / 2][i % 2] = *v;
+    }
+    let mem_raw = get(obj, "mem")?.as_f64_vec()?;
+    let [l1i, l1d, l2, tlb] = mem_raw.as_slice() else {
+        return Err("mem expects 4 rates".to_string());
+    };
+    Ok(SimReport {
+        workload: get(obj, "workload")?.as_str()?.to_string(),
+        experiment: get(obj, "experiment")?.as_str()?.to_string(),
+        label: get(obj, "label")?.as_str()?.to_string(),
+        perf,
+        energy,
+        bpred: PredictorStats { predictions: *predictions, mispredictions: *mispredictions },
+        conf,
+        mem: MemSummary {
+            l1i_miss_rate: *l1i,
+            l1d_miss_rate: *l1d,
+            l2_miss_rate: *l2,
+            tlb_miss_rate: *tlb,
+        },
+    })
+}
+
+fn unit_array(json: &Json) -> Result<[f64; UNIT_COUNT], String> {
+    let v = json.as_f64_vec()?;
+    let arr: [f64; UNIT_COUNT] =
+        v.try_into().map_err(|_| format!("expected {UNIT_COUNT} per-unit values"))?;
+    Ok(arr)
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing `{key}`"))
+}
+
+// ---------------------------------------------------------------------
+// A minimal recursive JSON reader (the spec parser is flat-only; cache
+// entries need strings with escapes and nothing else the full grammar
+// offers, so ~100 lines beats a vendored dependency).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// Any number, including the non-standard `NaN`/`inf` the exact
+    /// float encoding may produce.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Reader { chars: text.chars().collect(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Ok(n as u64)
+        } else {
+            Err(format!("expected unsigned integer, got {n}"))
+        }
+    }
+
+    fn as_f64_vec(&self) -> Result<Vec<f64>, String> {
+        match self {
+            Json::Arr(items) => items.iter().map(Json::as_f64).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn as_u64_vec(&self) -> Result<Vec<u64>, String> {
+        match self {
+            Json::Arr(items) => items.iter().map(Json::as_u64).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+struct Reader {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Reader {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some('"') {
+            return Err(format!("expected string at {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else { return Err("unterminated string".to_string()) };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("dangling escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hex: String = self.chars.iter().skip(self.pos).take(4).collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            self.pos += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Numbers, plus the bare `NaN`/`inf`/`-inf` tokens the exact float
+    /// encoding emits for non-finite values.
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || "+-.".contains(c)) {
+            self.pos += 1;
+        }
+        let token: String = self.chars[start..self.pos].iter().collect();
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("cannot parse number `{token}` at {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobSpec;
+    use st_isa::WorkloadSpec;
+
+    fn report(seed: u64) -> SimReport {
+        JobSpec::new(WorkloadSpec::builder("persist-test").seed(seed).blocks(64).build(), 1_500)
+            .with_experiment(st_core::experiments::c2())
+            .run()
+    }
+
+    #[test]
+    fn report_round_trips_exactly() {
+        let r = report(1);
+        let json = report_to_json(&r);
+        let back = report_from_json(&json).expect("parse");
+        // PartialEq covers every counter and float bit-for-bit.
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn non_finite_floats_survive() {
+        let mut r = report(2);
+        r.mem.l2_miss_rate = f64::NAN;
+        r.mem.tlb_miss_rate = f64::INFINITY;
+        let back = report_from_json(&report_to_json(&r)).expect("parse");
+        assert!(back.mem.l2_miss_rate.is_nan());
+        assert_eq!(back.mem.tlb_miss_rate, f64::INFINITY);
+    }
+
+    #[test]
+    fn escaped_strings_survive() {
+        let mut r = report(3);
+        r.label = "quote\" slash\\ newline\n tab\t".to_string();
+        let back = report_from_json(&report_to_json(&r)).expect("parse");
+        assert_eq!(back.label, r.label);
+    }
+
+    #[test]
+    fn rejects_version_skew_and_garbage() {
+        let r = report(4);
+        let json = report_to_json(&r).replace("\"v\":1", "\"v\":999");
+        assert!(report_from_json(&json).is_err());
+        assert!(report_from_json("not json").is_err());
+        assert!(report_from_json("{}").is_err());
+        assert!(report_from_json("{\"v\":1}").is_err());
+    }
+
+    #[test]
+    fn store_load_and_summarise() {
+        let dir = std::env::temp_dir().join(format!("st-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PersistentCache::new(&dir);
+        assert!(cache.load().is_empty(), "empty dir loads nothing");
+        let (a, b) = (report(5), report(6));
+        cache.store(0xabc, &a).expect("store a");
+        cache.store(0xdef, &b).expect("store b");
+        cache.store(0xdef, &b).expect("overwrite is fine");
+        // A foreign file is ignored.
+        std::fs::write(dir.join("README.txt"), "not a cache entry").unwrap();
+        // A corrupt entry is skipped on load but counted by summary.
+        std::fs::write(dir.join(format!("{:016x}.json", 0x1234u64)), "garbage").unwrap();
+        // An orphaned temp file from an interrupted store.
+        std::fs::write(dir.join(".tmp-00000000000000ff-1"), "torn write").unwrap();
+        let loaded = cache.load();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, 0xabc, "sorted by fingerprint");
+        assert_eq!(loaded[0].1, a);
+        assert_eq!(loaded[1].1, b);
+        let s = cache.summary();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.unreadable, 1);
+        assert!(s.bytes > 0);
+        assert_eq!(cache.clear().expect("clear"), 3);
+        assert!(cache.load().is_empty());
+        assert!(!dir.join(".tmp-00000000000000ff-1").exists(), "orphaned temp swept up");
+        assert!(dir.join("README.txt").exists(), "foreign files untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

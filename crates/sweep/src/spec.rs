@@ -1,29 +1,38 @@
 //! Declarative sweep specifications.
 //!
-//! A [`SweepSpec`] names a grid: workloads × experiments × configuration
-//! axes (pipeline depth, predictor/estimator budgets) at a fixed
-//! instruction budget. It can be built in code or parsed from a small
-//! TOML or JSON document (auto-detected), e.g.:
+//! A [`SweepSpec`] names a grid: workloads × experiments × any set of
+//! registered sweep axes (see [`crate::axes`]) — pipeline depth, window
+//! and queue sizes, predictor/estimator budgets, the Pipeline-Gating
+//! threshold, instruction budget and power-model knobs. It can be built
+//! in code or parsed from a small TOML or JSON document (auto-detected):
 //!
 //! ```toml
-//! name = "depth-sweep"
+//! name = "window-sweep"
 //! workloads = ["go", "gcc"]
 //! experiments = ["C2", "A7"]
-//! depths = [6, 14, 28]
-//! instructions = 50000
+//!
+//! [axis]
+//! ruu_size = [64, 128, 256]
+//! gating_threshold = [1, 2, 4]
+//! instructions = 50_000
 //! ```
 //!
 //! ```json
-//! { "name": "quick", "workloads": ["go"], "experiments": ["C2"] }
+//! { "name": "quick", "workloads": ["go"], "axis.depth": [6, 14, 28] }
 //! ```
 //!
+//! Axes bind through `axis.<name>` keys (TOML `[axis]` sections or
+//! dotted keys; flat dotted keys in JSON). The pre-registry spellings
+//! `depths`, `predictor_kb`, `estimator_kb` and `instructions` are kept
+//! as deprecated aliases and expand to identical grids.
+//!
 //! The vendored environment has no serde/toml, so parsing is a minimal
-//! built-in reader covering flat `key = value` TOML and flat JSON objects
-//! with scalar/array values — exactly the shape of a sweep spec.
+//! built-in reader covering sectioned `key = value` TOML and flat JSON
+//! objects with scalar/array values — exactly the shape of a sweep spec.
 
 use st_core::Experiment;
-use st_pipeline::PipelineConfig;
 
+use crate::axes::{self, Axis, AxisBinding, AxisValue};
 use crate::job::JobSpec;
 
 /// Errors produced while parsing or resolving a sweep spec.
@@ -42,7 +51,18 @@ fn err<T>(msg: impl Into<String>) -> Result<T, SpecError> {
     Err(SpecError(msg.into()))
 }
 
-/// A declarative workload × experiment × config-axis grid.
+/// Non-axis spec keys, for unknown-key suggestions.
+const TOP_KEYS: [&str; 4] = ["name", "workloads", "experiments", "baseline"];
+
+/// Deprecated aliases: `spec key → axis name`.
+const LEGACY_AXIS_KEYS: [(&str, &str); 4] = [
+    ("depths", "depth"),
+    ("predictor_kb", "predictor_kb"),
+    ("estimator_kb", "estimator_kb"),
+    ("instructions", "instructions"),
+];
+
+/// A declarative workload × experiment × axis grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Sweep name (used for output file names).
@@ -51,37 +71,38 @@ pub struct SweepSpec {
     pub workloads: Vec<String>,
     /// Experiment ids ("A5", "C2", "OF", …; empty = C2 only).
     pub experiments: Vec<String>,
-    /// Pipeline depths to sweep (empty = the paper's 14).
-    pub depths: Vec<u32>,
-    /// Branch-predictor budgets in KB (empty = the paper's 8).
-    pub predictor_kb: Vec<u32>,
-    /// Confidence-estimator budgets in KB (empty = the paper's 8).
-    pub estimator_kb: Vec<u32>,
-    /// Dynamic instruction budget per point.
-    pub instructions: u64,
-    /// Whether to add a baseline point per (workload, config) for
+    /// Bound sweep axes; anything unbound stays at the paper default.
+    pub axes: Vec<AxisBinding>,
+    /// Whether to add a baseline point per (workload, axis point) for
     /// speedup/energy comparisons.
     pub baseline: bool,
 }
 
 impl Default for SweepSpec {
+    /// The documented defaults: named `sweep`, baselines enabled,
+    /// nothing bound (every axis at its paper value).
     fn default() -> SweepSpec {
-        SweepSpec {
-            name: "sweep".to_string(),
-            workloads: Vec::new(),
-            experiments: Vec::new(),
-            depths: Vec::new(),
-            predictor_kb: Vec::new(),
-            estimator_kb: Vec::new(),
-            instructions: 200_000,
-            baseline: true,
-        }
+        SweepSpec::new("sweep")
     }
 }
 
 impl SweepSpec {
-    /// Parses a spec from TOML (`key = value` lines) or JSON (flat
-    /// object), auto-detected from the first non-whitespace character.
+    /// An empty spec named `name` with baselines enabled.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> SweepSpec {
+        SweepSpec {
+            name: name.into(),
+            workloads: Vec::new(),
+            experiments: Vec::new(),
+            axes: Vec::new(),
+            baseline: true,
+        }
+    }
+
+    /// Parses a spec from TOML (`key = value` lines, with `[axis]`
+    /// sections and dotted keys supported) or JSON (flat object,
+    /// `axis.<name>` keys), auto-detected from the first non-whitespace
+    /// character.
     pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
         let trimmed = text.trim_start();
         let pairs = if trimmed.starts_with('{') {
@@ -89,7 +110,7 @@ impl SweepSpec {
         } else {
             parse_toml_lite(text)?
         };
-        let mut spec = SweepSpec::default();
+        let mut spec = SweepSpec::new("sweep");
         for (key, value) in pairs {
             spec.apply(&key, value)?;
         }
@@ -97,59 +118,118 @@ impl SweepSpec {
     }
 
     fn apply(&mut self, key: &str, value: Value) -> Result<(), SpecError> {
+        if let Some((_, axis_name)) = LEGACY_AXIS_KEYS.iter().find(|(k, _)| *k == key) {
+            return self.bind_axis_value(axis_name, key, value);
+        }
+        if let Some(axis_name) = key.strip_prefix("axis.") {
+            return self.bind_axis_value(axis_name, key, value);
+        }
         match key {
             "name" => self.name = value.into_string(key)?,
             "workloads" => self.workloads = value.into_string_vec(key)?,
             "experiments" => self.experiments = value.into_string_vec(key)?,
-            "depths" => self.depths = value.into_num_vec(key)?,
-            "predictor_kb" => self.predictor_kb = value.into_num_vec(key)?,
-            "estimator_kb" => self.estimator_kb = value.into_num_vec(key)?,
-            "instructions" => self.instructions = value.into_u64(key)?,
             "baseline" => self.baseline = value.into_bool(key)?,
-            other => return err(format!("unknown key `{other}`")),
+            other => return err(unknown_key_message(other)),
         }
         Ok(())
     }
 
-    /// Expands the grid into concrete jobs (baselines first per config
-    /// axis point, then experiments in declaration order).
-    pub fn jobs(&self) -> Result<Vec<JobSpec>, SpecError> {
+    /// Parses `value` for `axis_name` and appends the binding, rejecting
+    /// double binds (e.g. a legacy key plus its `axis.*` spelling).
+    fn bind_axis_value(
+        &mut self,
+        axis_name: &str,
+        key: &str,
+        value: Value,
+    ) -> Result<(), SpecError> {
+        let axis = axes::axis(axis_name).ok_or_else(|| axes::unknown_axis_error(axis_name))?;
+        if self.axes.iter().any(|b| b.name == axis.name) {
+            return err(format!(
+                "axis `{}` bound more than once (key `{key}`; check for a legacy alias)",
+                axis.name
+            ));
+        }
+        let values = value.into_axis_vec(axis, key)?;
+        self.axes.push(AxisBinding::new(axis.name, values)?);
+        Ok(())
+    }
+
+    /// Binds (or rebinds) an axis programmatically — the `--set` CLI
+    /// override path. Replaces any existing binding for the same axis.
+    pub fn set_axis(&mut self, name: &str, values: Vec<AxisValue>) -> Result<(), SpecError> {
+        let binding = AxisBinding::new(name, values)?;
+        self.axes.retain(|b| b.name != binding.name);
+        self.axes.push(binding);
+        Ok(())
+    }
+
+    /// The values an axis is bound to, if it is bound.
+    #[must_use]
+    pub fn axis_values(&self, name: &str) -> Option<&[AxisValue]> {
+        self.axes.iter().find(|b| b.name == name).map(|b| b.values.as_slice())
+    }
+
+    /// Display form of the instruction budget: the bound value(s), or
+    /// the registry default when unbound.
+    #[must_use]
+    pub fn instructions_label(&self) -> String {
+        match self.axis_values("instructions") {
+            Some(values) if values.len() == 1 => values[0].canonical(),
+            Some(values) => {
+                let list: Vec<String> = values.iter().map(AxisValue::canonical).collect();
+                format!("{{{}}}", list.join(","))
+            }
+            None => axes::axis("instructions").expect("registered").default.canonical(),
+        }
+    }
+
+    /// Expands the grid into concrete points: the cartesian product of
+    /// all bound axes (canonical registry order, first axis varying
+    /// slowest) × workloads × (baseline + experiments), with each
+    /// point's axis bindings attached for downstream grouping.
+    pub fn points(&self) -> Result<Vec<SweepPoint>, SpecError> {
         let workloads = self.resolve_workloads()?;
         let experiments = self.resolve_experiments()?;
-        let depths = if self.depths.is_empty() { vec![14] } else { self.depths.clone() };
-        let pred_kb =
-            if self.predictor_kb.is_empty() { vec![8] } else { self.predictor_kb.clone() };
-        let est_kb = if self.estimator_kb.is_empty() { vec![8] } else { self.estimator_kb.clone() };
-
-        let mut jobs = Vec::new();
-        for &depth in &depths {
-            if depth < 6 {
-                return err(format!("depth {depth} below the 6-stage minimum"));
+        let mut bound = self.axes.clone();
+        bound.sort_by_key(|b| b.axis().index());
+        for pair in bound.windows(2) {
+            if pair[0].name == pair[1].name {
+                return err(format!("axis `{}` bound more than once", pair[0].name));
             }
-            for &pkb in &pred_kb {
-                for &ekb in &est_kb {
-                    let mut config = PipelineConfig::with_depth(depth);
-                    config.predictor_bytes = pkb as usize * 1024;
-                    config.estimator_bytes = ekb as usize * 1024;
-                    for workload in &workloads {
-                        if self.baseline {
-                            jobs.push(
-                                JobSpec::new(workload.clone(), self.instructions)
-                                    .with_config(config.clone()),
-                            );
-                        }
-                        for experiment in &experiments {
-                            jobs.push(
-                                JobSpec::new(workload.clone(), self.instructions)
-                                    .with_config(config.clone())
-                                    .with_experiment(experiment.clone()),
-                            );
-                        }
-                    }
+        }
+
+        // Cartesian product over the bound axes.
+        let mut combos: Vec<Vec<(&'static str, AxisValue)>> = vec![Vec::new()];
+        for binding in &bound {
+            let mut next = Vec::with_capacity(combos.len() * binding.values.len());
+            for combo in &combos {
+                for v in &binding.values {
+                    let mut c = combo.clone();
+                    c.push((binding.name, *v));
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+
+        let mut points = Vec::with_capacity(combos.len() * workloads.len());
+        for combo in &combos {
+            for workload in &workloads {
+                if self.baseline {
+                    points.push(make_point(workload, None, combo)?);
+                }
+                for e in &experiments {
+                    points.push(make_point(workload, Some(e), combo)?);
                 }
             }
         }
-        Ok(jobs)
+        Ok(points)
+    }
+
+    /// Expands the grid into bare jobs (see [`SweepSpec::points`] for the
+    /// axis-tagged form).
+    pub fn jobs(&self) -> Result<Vec<JobSpec>, SpecError> {
+        Ok(self.points()?.into_iter().map(|p| p.job).collect())
     }
 
     /// Resolved workload specs (the paper's eight when unspecified).
@@ -178,6 +258,58 @@ impl SweepSpec {
             })
             .collect()
     }
+}
+
+/// One expanded grid point: the concrete job plus the axis bindings that
+/// produced it (canonical registry order), so emitters can tag results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The fully-specified simulation point.
+    pub job: JobSpec,
+    /// `(axis name, value)` pairs this point binds, registry order.
+    pub bindings: Vec<(&'static str, AxisValue)>,
+}
+
+fn make_point(
+    workload: &st_isa::WorkloadSpec,
+    experiment: Option<&Experiment>,
+    combo: &[(&'static str, AxisValue)],
+) -> Result<SweepPoint, SpecError> {
+    let default_instr = match axes::axis("instructions").expect("registered").default {
+        AxisValue::Int(n) => n,
+        AxisValue::Float(_) => unreachable!("instructions is an integer axis"),
+    };
+    let mut job = JobSpec::new(workload.clone(), default_instr);
+    if let Some(e) = experiment {
+        job = job.with_experiment(e.clone());
+    }
+    // `combo` is already in registry order, which is the canonical
+    // application order.
+    for (name, value) in combo {
+        axes::axis(name).expect("combo names come from bindings").apply(&mut job, value)?;
+    }
+    Ok(SweepPoint { job, bindings: combo.to_vec() })
+}
+
+/// The "unknown spec key" diagnostic: nearest-name suggestion over
+/// top-level keys, legacy aliases and `axis.*` spellings.
+fn unknown_key_message(key: &str) -> String {
+    let mut msg = format!("unknown key `{key}`");
+    // A bare axis name is the most common slip: `ruu_size = [..]`
+    // instead of `axis.ruu_size = [..]`.
+    if axes::axis(key).is_some() {
+        msg.push_str(&format!(" (did you mean `axis.{key}`?)"));
+        return msg;
+    }
+    let mut candidates: Vec<String> = TOP_KEYS.iter().map(|k| (*k).to_string()).collect();
+    candidates.extend(LEGACY_AXIS_KEYS.iter().map(|(k, _)| (*k).to_string()));
+    candidates.extend(axes::registry().iter().map(|a| format!("axis.{}", a.name)));
+    if let Some(best) = axes::nearest(key, candidates.iter().map(String::as_str)) {
+        msg.push_str(&format!(" (did you mean `{best}`?)"));
+    }
+    let names: Vec<&str> = axes::registry().iter().map(|a| a.name).collect();
+    msg.push_str(&format!("; valid axes: {}", names.join(", ")));
+    msg
 }
 
 /// Looks up a paper experiment by id (case-insensitive): `BASE`, `A1`–`A7`,
@@ -227,13 +359,6 @@ impl Value {
         }
     }
 
-    fn into_u64(self, key: &str) -> Result<u64, SpecError> {
-        match self {
-            Value::Num(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
-            other => err(format!("`{key}` expects a non-negative integer, got {other:?}")),
-        }
-    }
-
     fn into_string_vec(self, key: &str) -> Result<Vec<String>, SpecError> {
         match self {
             Value::Arr(items) => items.into_iter().map(|v| v.into_string(key)).collect(),
@@ -242,17 +367,20 @@ impl Value {
         }
     }
 
-    fn into_num_vec<T: TryFrom<u64>>(self, key: &str) -> Result<Vec<T>, SpecError> {
+    /// Converts to typed axis values per the axis domain: integer axes
+    /// require whole non-negative numbers, float axes accept any finite
+    /// number.
+    fn into_axis_vec(self, axis: &Axis, key: &str) -> Result<Vec<AxisValue>, SpecError> {
         let items = match self {
             Value::Arr(items) => items,
             single @ Value::Num(_) => vec![single],
-            other => return err(format!("`{key}` expects an array of integers, got {other:?}")),
+            other => return err(format!("`{key}` expects an array of numbers, got {other:?}")),
         };
         items
             .into_iter()
-            .map(|v| {
-                let n = v.into_u64(key)?;
-                T::try_from(n).map_err(|_| SpecError(format!("`{key}` value {n} out of range")))
+            .map(|v| match v {
+                Value::Num(n) => axis.value_from_f64(n),
+                other => err(format!("`{key}` expects numbers, got {other:?}")),
             })
             .collect()
     }
@@ -330,15 +458,25 @@ fn strip_comment(line: &str) -> &str {
 
 fn parse_toml_lite(text: &str) -> Result<Vec<(String, Value)>, SpecError> {
     let mut pairs = Vec::new();
+    let mut section = String::new();
     for raw in text.lines() {
         let line = strip_comment(raw).trim();
-        if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
-            continue; // blank, comment or (ignored) section header
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            // A `[section]` header prefixes the keys that follow, so
+            // `[axis]` + `depth = [..]` reads as `axis.depth = [..]`.
+            section = header.trim().to_string();
+            continue;
         }
         let Some((key, value)) = line.split_once('=') else {
             return err(format!("expected `key = value`, got `{line}`"));
         };
-        pairs.push((key.trim().to_string(), parse_value(value)?));
+        let key = key.trim();
+        let full_key =
+            if section.is_empty() { key.to_string() } else { format!("{section}.{key}") };
+        pairs.push((full_key, parse_value(value)?));
     }
     Ok(pairs)
 }
@@ -415,7 +553,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_toml_lite() {
+    fn parses_toml_lite_with_legacy_aliases() {
         let spec = SweepSpec::parse(
             r#"
             # depth sensitivity
@@ -431,9 +569,47 @@ mod tests {
         assert_eq!(spec.name, "depth-sweep");
         assert_eq!(spec.workloads, vec!["go", "gcc"]);
         assert_eq!(spec.experiments, vec!["C2", "A7"]);
-        assert_eq!(spec.depths, vec![6, 14, 28]);
-        assert_eq!(spec.instructions, 50_000);
+        assert_eq!(
+            spec.axis_values("depth"),
+            Some(&[AxisValue::Int(6), AxisValue::Int(14), AxisValue::Int(28)][..])
+        );
+        assert_eq!(spec.axis_values("instructions"), Some(&[AxisValue::Int(50_000)][..]));
+        assert_eq!(spec.instructions_label(), "50000");
         assert!(spec.baseline);
+    }
+
+    #[test]
+    fn parses_axis_section_and_dotted_keys() {
+        let toml = SweepSpec::parse(
+            r#"
+            name = "axes"
+            axis.depth = [6, 14]
+
+            [axis]
+            ruu_size = [64, 128]
+            idle_frac = [0.05, 0.1]
+            "#,
+        )
+        .expect("parse");
+        assert_eq!(toml.axis_values("depth"), Some(&[AxisValue::Int(6), AxisValue::Int(14)][..]));
+        assert_eq!(
+            toml.axis_values("ruu_size"),
+            Some(&[AxisValue::Int(64), AxisValue::Int(128)][..])
+        );
+        assert_eq!(
+            toml.axis_values("idle_frac"),
+            Some(&[AxisValue::Float(0.05), AxisValue::Float(0.1)][..])
+        );
+
+        let json = SweepSpec::parse(
+            r#"{ "name": "axes", "axis.gating_threshold": [1, 2, 4], "axis.total_watts": 28.2 }"#,
+        )
+        .expect("parse");
+        assert_eq!(
+            json.axis_values("gating_threshold"),
+            Some(&[AxisValue::Int(1), AxisValue::Int(2), AxisValue::Int(4)][..])
+        );
+        assert_eq!(json.axis_values("total_watts"), Some(&[AxisValue::Float(28.2)][..]));
     }
 
     #[test]
@@ -445,9 +621,43 @@ mod tests {
         .expect("parse");
         assert_eq!(spec.name, "quick");
         assert_eq!(spec.experiments, vec!["C2", "OF"]);
-        assert_eq!(spec.predictor_kb, vec![8, 16]);
+        assert_eq!(
+            spec.axis_values("predictor_kb"),
+            Some(&[AxisValue::Int(8), AxisValue::Int(16)][..])
+        );
         assert!(!spec.baseline);
-        assert_eq!(spec.instructions, 9_000);
+        assert_eq!(spec.instructions_label(), "9000");
+    }
+
+    #[test]
+    fn legacy_and_axis_spellings_expand_identically() {
+        let legacy = SweepSpec::parse(
+            r#"
+            name = "s"
+            workloads = ["go"]
+            experiments = ["C2"]
+            depths = [6, 14]
+            predictor_kb = [4, 8]
+            estimator_kb = [4]
+            instructions = 2_000
+            "#,
+        )
+        .expect("legacy parse");
+        let axes = SweepSpec::parse(
+            r#"
+            name = "s"
+            workloads = ["go"]
+            experiments = ["C2"]
+
+            [axis]
+            depth = [6, 14]
+            predictor_kb = [4, 8]
+            estimator_kb = [4]
+            instructions = 2_000
+            "#,
+        )
+        .expect("axis parse");
+        assert_eq!(legacy.jobs().expect("legacy jobs"), axes.jobs().expect("axis jobs"));
     }
 
     #[test]
@@ -458,27 +668,75 @@ mod tests {
     }
 
     #[test]
+    fn unknown_keys_get_suggestions() {
+        let e = SweepSpec::parse("ruu_size = [64]").unwrap_err();
+        assert!(e.0.contains("did you mean `axis.ruu_size`?"), "{e}");
+        let e = SweepSpec::parse("depts = [6]").unwrap_err();
+        assert!(e.0.contains("did you mean `depths`?"), "{e}");
+        let e = SweepSpec::parse("axis.dpeth = [6]").unwrap_err();
+        assert!(e.0.contains("did you mean `depth`?"), "{e}");
+        assert!(e.0.contains("valid axes:"), "{e}");
+        let e = SweepSpec::parse("workload = [\"go\"]").unwrap_err();
+        assert!(e.0.contains("did you mean `workloads`?"), "{e}");
+    }
+
+    #[test]
+    fn double_binding_is_rejected() {
+        let e = SweepSpec::parse("depths = [6]\naxis.depth = [14]").unwrap_err();
+        assert!(e.0.contains("bound more than once"), "{e}");
+    }
+
+    #[test]
     fn grid_expansion_counts() {
-        let spec = SweepSpec {
-            workloads: vec!["go".into(), "gcc".into()],
-            experiments: vec!["C2".into(), "A5".into()],
-            depths: vec![6, 14],
-            instructions: 1_000,
-            ..SweepSpec::default()
-        };
+        let mut spec = SweepSpec::new("grid");
+        spec.workloads = vec!["go".into(), "gcc".into()];
+        spec.experiments = vec!["C2".into(), "A5".into()];
+        spec.set_axis("depth", vec![AxisValue::Int(6), AxisValue::Int(14)]).unwrap();
+        spec.set_axis("instructions", vec![AxisValue::Int(1_000)]).unwrap();
         // 2 depths x 2 workloads x (1 baseline + 2 experiments) = 12
         let jobs = spec.jobs().expect("jobs");
         assert_eq!(jobs.len(), 12);
         assert!(jobs.iter().any(|j| j.config.depth == 6));
         assert!(jobs.iter().any(|j| j.experiment.id == "A5"));
+        assert!(jobs.iter().all(|j| j.instructions == 1_000));
+    }
+
+    #[test]
+    fn points_carry_their_bindings_in_registry_order() {
+        let mut spec = SweepSpec::new("tagged");
+        spec.workloads = vec!["go".into()];
+        spec.experiments = vec!["A7".into()];
+        // Bind out of registry order on purpose.
+        spec.set_axis("gating_threshold", vec![AxisValue::Int(1), AxisValue::Int(3)]).unwrap();
+        spec.set_axis("ruu_size", vec![AxisValue::Int(32)]).unwrap();
+        let points = spec.points().expect("points");
+        // 1 ruu x 2 thresholds x (baseline + A7) = 4
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.bindings[0].0, "ruu_size", "registry order");
+            assert_eq!(p.bindings[1].0, "gating_threshold");
+            assert_eq!(p.job.config.ruu_size, 32);
+        }
+        let a7 = points.iter().find(|p| p.job.experiment.id == "A7").expect("A7 point");
+        assert_eq!(a7.job.experiment.gating_threshold(), Some(1));
     }
 
     #[test]
     fn unknown_names_are_errors() {
-        let bad_workload = SweepSpec { workloads: vec!["nope".into()], ..SweepSpec::default() };
+        let bad_workload = SweepSpec { workloads: vec!["nope".into()], ..SweepSpec::new("w") };
         assert!(bad_workload.jobs().is_err());
-        let bad_experiment = SweepSpec { experiments: vec!["Z9".into()], ..SweepSpec::default() };
+        let bad_experiment = SweepSpec { experiments: vec!["Z9".into()], ..SweepSpec::new("e") };
         assert!(bad_experiment.jobs().is_err());
+    }
+
+    #[test]
+    fn default_keeps_documented_defaults() {
+        // Struct-update construction over Default must keep baselines on
+        // and the conventional name, as the pre-axis SweepSpec did.
+        let spec = SweepSpec { workloads: vec!["go".into()], ..SweepSpec::default() };
+        assert!(spec.baseline);
+        assert_eq!(spec.name, "sweep");
+        assert_eq!(spec.jobs().expect("grid").len(), 2, "BASE + C2");
     }
 
     #[test]

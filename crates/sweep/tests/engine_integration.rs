@@ -85,6 +85,50 @@ fn repeated_points_across_sweeps_hit_the_cache() {
 }
 
 #[test]
+fn axis_spec_runs_end_to_end_and_reuses_the_persistent_cache() {
+    // The acceptance grid: ruu_size x fetch_width x gating_threshold,
+    // bound purely through `axis.*` keys — no code knows these knobs.
+    let spec = SweepSpec::parse(
+        r#"
+        name = "it-axes"
+        workloads = ["go"]
+        experiments = ["C2", "A7"]
+
+        [axis]
+        ruu_size = [32, 64]
+        fetch_width = [4, 8]
+        gating_threshold = [1, 3]
+        instructions = 2_000
+        "#,
+    )
+    .expect("valid axis spec");
+    let points = spec.points().expect("grid");
+    // 2 ruu x 2 widths x 2 thresholds x (BASE + C2 + A7) = 24 points.
+    assert_eq!(points.len(), 24);
+    let jobs: Vec<JobSpec> = points.iter().map(|p| p.job.clone()).collect();
+    assert!(jobs.iter().any(|j| j.config.ruu_size == 32 && j.config.fetch_width == 4));
+    assert!(jobs.iter().any(|j| j.experiment.gating_threshold() == Some(3)));
+
+    let dir = std::env::temp_dir().join(format!("st-it-axes-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let first = SweepEngine::with_persistent_cache(4, &dir);
+    let out1 = first.run(&jobs);
+    // gating_threshold only distinguishes A7 points: BASE and C2 dedup
+    // across the two threshold values (8 + 8 + 16 points -> 16 unique).
+    assert_eq!(first.stats().simulated, 16);
+
+    // A fresh engine (new process, conceptually) serves the whole grid
+    // from disk, bit-identically.
+    let second = SweepEngine::with_persistent_cache(4, &dir);
+    assert_eq!(second.stats().loaded, 16);
+    let out2 = second.run(&jobs);
+    assert_eq!(second.stats().simulated, 0, "fully served from the persistent cache");
+    assert!(second.stats().cache.hit_rate() > 0.9, "acceptance: >90% hits on the second run");
+    assert_eq!(out1, out2, "disk round-trip must be bit-exact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn declarative_spec_runs_end_to_end() {
     let spec = SweepSpec::parse(
         r#"

@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach crates.io, so this vendored crate
 //! implements the subset of the proptest API the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map`, range and tuple
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, range and tuple
 //! strategies, `prop::collection::vec`, [`prelude::any`], the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
 //! header) and the `prop_assert*` macros.
