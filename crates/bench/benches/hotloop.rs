@@ -1,0 +1,21 @@
+//! Steady-state hot-loop throughput, via the same harness `st bench`
+//! uses — so criterion runs and the `BENCH_sweep.json` core_bench
+//! section measure the identical code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_sweep::bench::{run, BenchConfig};
+
+fn bench_hotloop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop");
+    g.sample_size(10);
+    g.bench_function("smoke_suite", |b| {
+        b.iter(|| {
+            let cfg = BenchConfig::smoke().with_measure(5_000);
+            std::hint::black_box(run(&cfg).expect("bench suite runs"))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

@@ -163,6 +163,20 @@ impl Simulator {
         }
     }
 
+    /// Runs `instructions` *more* committed instructions and returns the
+    /// accumulated result snapshot. Incremental: repeated calls extend the
+    /// same machine state, which is how `st bench` separates cache/
+    /// predictor warm-up from its measured steady-state segment.
+    pub fn run_for(&mut self, instructions: u64) -> st_pipeline::core::SimResult {
+        self.core.run(instructions)
+    }
+
+    /// Simulated cycles so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.core.cycle()
+    }
+
     /// Runs the simulation to its instruction budget.
     #[must_use]
     pub fn run(mut self) -> SimReport {

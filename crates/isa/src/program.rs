@@ -131,6 +131,14 @@ pub struct Program {
     entry: BlockId,
     /// Sorted block start addresses for PC lookup.
     starts: Vec<u64>,
+    /// Base address of `pc_block`.
+    pc_base: u64,
+    /// Flat instruction-slot → owning-block table (`u32::MAX` = hole):
+    /// index `(addr - pc_base) / INSTR_BYTES`. Makes the fetch engine's
+    /// per-instruction [`Program::block_of`]/[`Program::instr_at`] O(1)
+    /// instead of a binary search; empty when the address span is too
+    /// sparse to tabulate (falls back to the search).
+    pc_block: Vec<u32>,
 }
 
 impl Program {
@@ -203,8 +211,18 @@ impl Program {
         if entry.0 >= n {
             return Err(ProgramError::DanglingSuccessor { block: entry, successor: entry });
         }
-        let starts = blocks.iter().map(|b| b.start_pc.addr()).collect();
-        Ok(Program { name: name.into(), blocks, branches, streams, entry, starts })
+        let starts: Vec<u64> = blocks.iter().map(|b| b.start_pc.addr()).collect();
+        let (pc_base, pc_block) = build_pc_table(&blocks);
+        Ok(Program {
+            name: name.into(),
+            blocks,
+            branches,
+            streams,
+            entry,
+            starts,
+            pc_base,
+            pc_block,
+        })
     }
 
     /// Workload name this program was generated from.
@@ -284,6 +302,13 @@ impl Program {
     #[must_use]
     pub fn block_of(&self, pc: Pc) -> Option<BlockId> {
         let a = pc.addr();
+        if !self.pc_block.is_empty() {
+            let slot = a.checked_sub(self.pc_base)? / INSTR_BYTES;
+            return match self.pc_block.get(slot as usize) {
+                Some(&id) if id != u32::MAX => Some(BlockId(id)),
+                _ => None,
+            };
+        }
         let idx = match self.starts.binary_search(&a) {
             Ok(i) => i,
             Err(0) => return None,
@@ -310,6 +335,27 @@ impl Program {
         let idx = (off / INSTR_BYTES) as usize;
         b.instrs.get(idx).map(|i| (block_id, idx, i))
     }
+}
+
+/// Builds the flat instruction-slot → block table, or an empty table when
+/// the program's address span is too sparse to be worth tabulating.
+fn build_pc_table(blocks: &[BasicBlock]) -> (u64, Vec<u32>) {
+    let base = blocks.iter().map(|b| b.start_pc.addr()).min().unwrap_or(0);
+    let end = blocks.iter().map(|b| b.end_pc().addr()).max().unwrap_or(0);
+    let slots = (end - base) / INSTR_BYTES;
+    // 16 MiB of table is far beyond any generated program; a manual
+    // program with exotic addresses keeps the binary-search path.
+    if slots > 4 << 20 {
+        return (base, Vec::new());
+    }
+    let mut table = vec![u32::MAX; slots as usize];
+    for (i, b) in blocks.iter().enumerate() {
+        let first = (b.start_pc.addr() - base) / INSTR_BYTES;
+        for k in 0..b.len() as u64 {
+            table[(first + k) as usize] = i as u32;
+        }
+    }
+    (base, table)
 }
 
 #[cfg(test)]

@@ -65,12 +65,19 @@ struct Line {
 }
 
 /// A set-associative, true-LRU, allocate-on-miss cache.
+///
+/// Set index and tag extraction are pure shift/mask operations whose
+/// shift amounts are precomputed at construction, so the per-access
+/// lookup does no division or recount of the geometry.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: usize,
     lines: Vec<Line>,
     offset_bits: u32,
+    /// `sets - 1` (sets are a power of two).
+    set_mask: usize,
+    /// `offset_bits + log2(sets)` worth of low bits removed for the tag.
+    tag_shift: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -88,8 +95,9 @@ impl Cache {
         let ways = config.ways;
         Cache {
             offset_bits: config.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
             config,
-            sets,
             lines: vec![Line::default(); sets * ways],
             tick: 0,
             stats: CacheStats::default(),
@@ -185,8 +193,8 @@ impl Cache {
 
     fn locate(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr >> self.offset_bits;
-        let set = (line_addr as usize) & (self.sets - 1);
-        let tag = line_addr >> self.sets.trailing_zeros();
+        let set = (line_addr as usize) & self.set_mask;
+        let tag = line_addr >> self.tag_shift;
         (set, tag)
     }
 }

@@ -1,0 +1,406 @@
+//! Back-end stages: issue (select + execute start), writeback (wakeup +
+//! branch resolution + recovery) and in-order commit.
+//!
+//! Behavioural contract: these are line-for-line ports of the seed
+//! implementation's stage logic onto the slot-stable state of
+//! [`crate::hotstate`] — every activity event, ledger charge and counter
+//! update fires in the same order with the same values, which the golden
+//! differential tests in `st-sweep` verify bit-for-bit.
+
+use st_isa::OpClass;
+use st_power::{InstrFate, Unit};
+
+use crate::controller::OracleMode;
+use crate::core::{Core, NO_STORE_SLOT};
+use crate::hotstate::Completion;
+use crate::instr::SeqNum;
+
+impl Core {
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    pub(crate) fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.ruu.front() else { break };
+            if !head.completed {
+                break;
+            }
+            let (_, mut e) = self.ruu.pop_front().expect("checked non-empty");
+            debug_assert!(!e.d.wrong_path, "wrong-path instruction reached commit");
+            // A committing entry cannot still wait on a producer (in-order
+            // commit: its producers retired first, and their writeback
+            // broadcast cleared the wait) — so no dependant bits linger.
+            debug_assert_eq!(e.src_wait, [None, None], "commit with pending producers");
+
+            // Store data is written to the cache at commit (squashed stores
+            // never touch memory).
+            if e.d.op == OpClass::Store {
+                let addr = e.d.mem_addr.expect("store carries an address");
+                let res = self.mem.access_data(addr, true);
+                self.activity.add(Unit::DCache, 1);
+                e.d.ledger.charge(Unit::DCache, self.ev[Unit::DCache.index()]);
+                if res.l2_accessed {
+                    self.activity.add(Unit::DCache2, 1);
+                    e.d.ledger.charge(Unit::DCache2, self.ev[Unit::DCache2.index()]);
+                }
+            }
+            // Architectural register write.
+            if e.d.dest.is_some() {
+                self.activity.add(Unit::Regfile, 1);
+                e.d.ledger.charge(Unit::Regfile, self.ev[Unit::Regfile.index()]);
+            }
+
+            // Trainer updates: only committed (correct-path) branches train
+            // the tables, so wrong paths cannot corrupt them.
+            if e.d.is_cond_branch() {
+                let dir_correct = e.d.pred_taken == e.d.true_taken;
+                self.bstats.record(dir_correct);
+                if let Some(conf) = e.d.confidence {
+                    self.cstats.record(conf, dir_correct);
+                }
+                let pred = st_bpred::Prediction { taken: e.d.pred_taken, weak: false };
+                self.predictor.update(e.d.pc, e.d.hist_at_predict, e.d.true_taken, e.d.pred_taken);
+                self.estimator.update(e.d.pc, e.d.hist_at_predict, pred, dir_correct);
+                if e.d.true_taken {
+                    self.btb.install(e.d.pc, e.d.true_next);
+                }
+                self.perf.branches_committed += 1;
+                if !dir_correct {
+                    self.perf.mispredicts_committed += 1;
+                }
+            } else if e.d.op == OpClass::Jump {
+                self.btb.install(e.d.pc, e.d.true_next);
+            }
+
+            // Free the rename mapping if this instruction is still the
+            // youngest producer of its destination.
+            if let Some(d) = e.d.dest {
+                self.rename.clear_if(d, e.d.seq);
+            }
+            // Retire the LSQ entry.
+            if e.d.op.is_mem() {
+                debug_assert_eq!(self.lsq.front().map(|l| l.seq), Some(e.d.seq));
+                let (lslot, l) = self.lsq.pop_front().expect("LSQ head present");
+                if l.is_store {
+                    self.lsq_unissued_stores.clear(lslot);
+                }
+            }
+            // Recycle the branch's checkpoint storage.
+            if let Some(cp) = e.rename_checkpoint.take() {
+                self.checkpoints.release(cp);
+            }
+
+            self.account.settle(&e.d.ledger, InstrFate::Committed);
+            self.perf.committed += 1;
+            if let Some(trace) = &mut self.commit_trace {
+                trace.push(e.d.pc);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback / branch resolution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn writeback(&mut self) {
+        let mut finishing = std::mem::take(&mut self.finishing);
+        debug_assert!(finishing.is_empty());
+        self.wheel.drain_into(self.cycle, &mut finishing);
+        if finishing.is_empty() {
+            self.finishing = finishing;
+            return;
+        }
+        finishing.sort_unstable();
+        for &Completion { seq, slot } in &finishing {
+            let slot = slot as usize;
+            // The instruction may have been squashed since it was issued
+            // (and its slot reused): only the original occupant — same
+            // never-reused sequence number — completes here.
+            match self.ruu.get(slot) {
+                Some(e) if e.d.seq == seq => {}
+                _ => continue,
+            }
+            let e = self.ruu.get_mut(slot).expect("live slot");
+            e.completed = true;
+            let d_dest = e.d.dest;
+
+            // Result broadcast: wake dependants.
+            self.activity.add(Unit::Window, 1);
+            e.d.ledger.charge(Unit::Window, self.ev[Unit::Window.index()]);
+            if d_dest.is_some() {
+                self.activity.add(Unit::ResultBus, 1);
+                let e = self.ruu.get_mut(slot).expect("live slot");
+                e.d.ledger.charge(Unit::ResultBus, self.ev[Unit::ResultBus.index()]);
+                // One pass over this producer's dependant mask instead of
+                // a window walk: clear the matching source waits and raise
+                // request lines for entries whose operands are now ready.
+                let deps = &mut self.ruu_deps;
+                let ruu = &mut self.ruu;
+                let request = &mut self.ruu_request;
+                deps.drain_row(slot, |dep_slot| {
+                    let dep = ruu.get_mut(dep_slot).expect("dependant slot live");
+                    for w in &mut dep.src_wait {
+                        if *w == Some(seq) {
+                            *w = None;
+                            dep.wait_count -= 1;
+                        }
+                    }
+                    if dep.wait_count == 0 && !dep.issued {
+                        request.set(dep_slot);
+                    }
+                });
+            }
+
+            // Branch resolution.
+            let e = self.ruu.get(slot).expect("live slot");
+            if e.d.is_cond_branch() {
+                let mispredicted = e.d.mispredicted();
+                self.controller.on_branch_resolved(seq, mispredicted);
+                if mispredicted {
+                    self.recover(slot, seq);
+                }
+            }
+        }
+        finishing.clear();
+        self.finishing = finishing;
+    }
+
+    /// Misprediction recovery: squash everything younger than the branch at
+    /// `slot`, restore checkpoints and redirect fetch.
+    fn recover(&mut self, slot: usize, seq: SeqNum) {
+        self.perf.recoveries += 1;
+        let branch = self.ruu.get(slot).expect("branch slot live");
+        let true_next = branch.d.true_next;
+        let true_taken = branch.d.true_taken;
+        let was_wrong_path = branch.d.wrong_path;
+
+        // Squash younger instructions from the fetch queue...
+        while let Some(back) = self.ifq.back() {
+            if back.d.seq <= seq {
+                break;
+            }
+            let ifq_slot = self.ifq.pop_back().expect("checked non-empty");
+            self.account.settle(&ifq_slot.d.ledger, InstrFate::Squashed);
+            self.perf.squashed += 1;
+        }
+        // ...and the window/LSQ.
+        while self.ruu.back().is_some_and(|b| b.d.seq > seq) {
+            let (s, e) = self.ruu.pop_back().expect("checked non-empty");
+            self.ruu_request.clear(s);
+            // Unhook from producers still in flight so a reused slot
+            // cannot receive a stale wakeup.
+            for w in e.src_wait.into_iter().flatten() {
+                if let Some(pslot) = self.find_ruu(w) {
+                    self.ruu_deps.clear(pslot, s);
+                }
+            }
+            if let Some(cp) = e.rename_checkpoint {
+                self.checkpoints.release(cp);
+            }
+            self.account.settle(&e.d.ledger, InstrFate::Squashed);
+            self.perf.squashed += 1;
+        }
+        while self.lsq.back().is_some_and(|b| b.seq > seq) {
+            let (s, l) = self.lsq.pop_back().expect("checked non-empty");
+            if l.is_store {
+                self.lsq_unissued_stores.clear(s);
+                self.lsq_last_store = l.prev_store_slot;
+            }
+        }
+
+        // Restore the rename map from the branch's dispatch-time snapshot.
+        let cp = self
+            .ruu
+            .get_mut(slot)
+            .expect("branch slot live")
+            .rename_checkpoint
+            .take()
+            .expect("conditional branches carry a rename checkpoint");
+        let snap = *self.checkpoints.get(cp);
+        self.rename.restore(&snap);
+        self.checkpoints.release(cp);
+
+        // Repair the speculative global history: rewind to the branch's
+        // fetch-time checkpoint, then shift in the resolved outcome.
+        if let Some(cp) = self.ruu.get(slot).expect("branch slot live").d.hist_checkpoint {
+            self.ghr.restore(cp);
+            self.ghr.push(true_taken);
+        }
+
+        self.controller.on_squash(seq);
+        self.mem.squash_speculative();
+
+        // Redirect fetch. If the *divergence* branch (a correct-path
+        // misprediction) resolved, the machine is back on the architectural
+        // path; a wrong-path branch redirects within the wrong path.
+        self.fetch_pc = true_next;
+        if !was_wrong_path {
+            self.on_correct_path = true;
+        }
+        self.fetch_stall_until = self.cycle + 1 + u64::from(self.config.extra_mispredict_penalty);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue (wakeup happened at writeback; this is select + execute start)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn issue(&mut self) {
+        let mut issued = 0;
+        let oracle = self.controller.oracle();
+        // Snapshot the raised request lines in program order (no entry
+        // joins or leaves the request set mid-stage except by issuing,
+        // which only clears its own snapshot bit after its visit).
+        let mut requesting = std::mem::take(&mut self.issue_scratch);
+        requesting.clear();
+        let (seg_a, seg_b) = self.ruu.segments();
+        self.ruu_request.collect_in(seg_a, &mut requesting);
+        self.ruu_request.collect_in(seg_b, &mut requesting);
+        for &slot in &requesting {
+            let e = self.ruu.get(slot).expect("requesting slot live");
+            debug_assert!(!e.issued && !e.completed && e.wait_count == 0);
+            // Selection throttling: the no-select bit keeps the entry from
+            // raising its request line while the trigger is unresolved
+            // (Figure 2) — which also saves the selection-arbitration
+            // energy charged to requesting entries below.
+            if let Some(trigger) = e.d.no_select_trigger {
+                if self.branch_unresolved(trigger) {
+                    self.perf.selection_blocked += 1;
+                    continue;
+                }
+                self.ruu.get_mut(slot).expect("live").d.no_select_trigger = None;
+            }
+            let e = self.ruu.get(slot).expect("live");
+            if oracle == OracleMode::Select && e.d.wrong_path {
+                continue;
+            }
+
+            // The entry raises its request line: selection arbitration
+            // burns window energy every cycle the entry competes, granted
+            // or not (this is the activity the no-select bit suppresses).
+            self.activity.add(Unit::Window, 1);
+            let window_event = self.ev[Unit::Window.index()];
+            let e = self.ruu.get_mut(slot).expect("live");
+            e.d.ledger.charge(Unit::Window, window_event);
+
+            if issued >= self.config.issue_width {
+                continue; // requesting but no issue slot this cycle
+            }
+
+            let op = e.d.op;
+            let latency = match op {
+                OpClass::IntAlu | OpClass::Branch => self.int_alu.try_acquire(self.cycle),
+                OpClass::IntMult => self.int_mult.try_acquire(self.cycle),
+                OpClass::FpAlu => self.fp_alu.try_acquire(self.cycle),
+                OpClass::FpMult => self.fp_mult.try_acquire(self.cycle),
+                OpClass::Load | OpClass::Store => {
+                    if let Some(lat) = self.mem_issue_latency(slot) {
+                        self.mem_ports.try_acquire(self.cycle).map(|port_lat| port_lat + lat)
+                    } else {
+                        continue; // memory-ordering block, retry next cycle
+                    }
+                }
+                OpClass::Jump | OpClass::Nop => unreachable!("complete at dispatch"),
+            };
+            let Some(latency) = latency else { continue };
+
+            let e = self.ruu.get_mut(slot).expect("live");
+            e.issued = true;
+            let seq = e.d.seq;
+            let lsq_slot = e.lsq_slot;
+            let done = self.cycle + u64::from(latency + self.config.exec_extra_latency).max(1);
+            self.wheel.push(self.cycle, done, Completion { seq, slot: slot as u32 });
+            self.ruu_request.clear(slot);
+
+            // FU energy (the window read was charged with the request).
+            self.activity.add(Unit::Alu, 1);
+            let alu_event = self.ev[Unit::Alu.index()];
+            let lsq_event = self.ev[Unit::Lsq.index()];
+            let e = self.ruu.get_mut(slot).expect("live");
+            e.d.ledger.charge(Unit::Alu, alu_event);
+            if op.is_mem() {
+                self.activity.add(Unit::Lsq, 1);
+                e.d.ledger.charge(Unit::Lsq, lsq_event);
+            }
+
+            self.perf.issued += 1;
+            if e.d.wrong_path {
+                self.perf.wrong_path_issued += 1;
+            }
+            issued += 1;
+
+            if op == OpClass::Store {
+                self.lsq_mark_issued(lsq_slot as usize);
+            }
+        }
+        self.issue_scratch = requesting;
+    }
+
+    /// Marks an LSQ entry's address as computed.
+    fn lsq_mark_issued(&mut self, slot: usize) {
+        if let Some(l) = self.lsq.get_mut(slot) {
+            l.issued = true;
+            if l.is_store {
+                self.lsq_unissued_stores.clear(slot);
+            }
+        }
+    }
+
+    /// Memory-ordering check for the memory instruction at RUU `slot`;
+    /// returns the cache-access latency if it may issue now.
+    ///
+    /// Semantics (identical to the seed's double LSQ scan): a load blocks
+    /// while *any* older store's address is unknown; once all are known it
+    /// forwards when the youngest older store matches its address.
+    fn mem_issue_latency(&mut self, slot: usize) -> Option<u32> {
+        let e = self.ruu.get(slot).expect("live slot");
+        let seq = e.d.seq;
+        let is_store = e.d.op == OpClass::Store;
+        let addr = e.d.mem_addr.expect("memory op carries address");
+        let lsq_slot = e.lsq_slot as usize;
+        let wrong_path = e.d.wrong_path;
+
+        if is_store {
+            // Stores only compute their address here; data goes to the
+            // cache at commit.
+            self.lsq_mark_issued(lsq_slot);
+            return Some(0);
+        }
+
+        // Loads: all older stores must have known addresses. The unissued
+        // mask covers exactly the live stores, and everything older than
+        // this load sits in the ring segments before its slot.
+        let (seg_a, seg_b) = self.lsq.segments_before(lsq_slot);
+        if self.lsq_unissued_stores.any_in(seg_a) || self.lsq_unissued_stores.any_in(seg_b) {
+            return None; // unknown older store address
+        }
+        // Forward when the youngest older store matches. The link recorded
+        // at dispatch is validated against slot reuse: a reused slot holds
+        // a younger entry, and in-order commit guarantees that if the
+        // linked store retired, no older store remains either.
+        let load = self.lsq.get(lsq_slot).expect("load LSQ entry live");
+        let forward = load.prev_store_slot != NO_STORE_SLOT
+            && self
+                .lsq
+                .get(load.prev_store_slot as usize)
+                .is_some_and(|p| p.is_store && p.seq < seq && p.addr == addr);
+        if forward {
+            return Some(1); // store-to-load forwarding
+        }
+        let res = if wrong_path {
+            self.mem.access_data_wrong_path(addr)
+        } else {
+            self.mem.access_data(addr, false)
+        };
+        self.activity.add(Unit::DCache, 1);
+        let dcache_event = self.ev[Unit::DCache.index()];
+        let dcache2_event = self.ev[Unit::DCache2.index()];
+        let e = self.ruu.get_mut(slot).expect("live slot");
+        e.d.ledger.charge(Unit::DCache, dcache_event);
+        if res.l2_accessed {
+            self.activity.add(Unit::DCache2, 1);
+            e.d.ledger.charge(Unit::DCache2, dcache2_event);
+        }
+        Some(res.latency)
+    }
+}

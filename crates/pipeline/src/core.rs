@@ -1,4 +1,4 @@
-//! The cycle-level out-of-order core.
+//! The cycle-level out-of-order core: machine state and the cycle loop.
 //!
 //! One [`Core`] owns a program, its architectural [`Walker`], the branch
 //! prediction front end, the memory hierarchy, the power model and a
@@ -6,6 +6,24 @@
 //! commit budget is reached, processing stages in reverse order each cycle
 //! (commit → writeback → issue → dispatch → fetch) so that same-cycle
 //! structural interactions resolve like hardware.
+//!
+//! The stages live in sibling modules — `frontend` (fetch, dispatch) and
+//! `backend` (issue, writeback, commit) — on top of the flat-array/bitset
+//! state of `hotstate`:
+//!
+//! * the RUU and LSQ are slot-stable ring buffers (`hotstate::Ring`);
+//!   in-flight structures refer to entries by physical slot, never by
+//!   scanning;
+//! * register wakeup is a dependant bitmask per producer
+//!   (`hotstate::DepMatrix`): one finishing writer wakes its waiters by
+//!   draining one mask row instead of walking the window;
+//! * selection requests are a bitset (`hotstate::Bits`) iterated in
+//!   program order, so issue touches only entries whose request lines are
+//!   raised instead of every window slot;
+//! * completion events sit in an `hotstate::EventWheel` rather than an
+//!   ordered tree map;
+//! * conditional-branch rename checkpoints are pooled
+//!   (`hotstate::CheckpointPool`) instead of boxed per branch.
 //!
 //! ## Wrong-path machinery
 //!
@@ -23,77 +41,68 @@
 //! outcome and can redirect fetch *within* the wrong path, nesting further
 //! squashes, exactly as an execution-driven simulator behaves.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use st_bpred::{
     Btb, ConfidenceEstimator, ConfidenceStats, DirectionPredictor, GlobalHistory, Gshare,
     PredictorStats, SaturatingEstimator,
 };
-use st_isa::{OpClass, Pc, Program, Reg, Walker, INSTR_BYTES};
+use st_isa::{OpClass, Pc, Program, Reg, Walker};
 use st_mem::MemoryHierarchy;
 use st_power::{
-    CycleActivity, EnergyAccount, EnergyReport, InstrFate, PowerConfig, PowerModel, Unit,
+    CycleActivity, EnergyAccount, EnergyReport, PowerConfig, PowerModel, Unit, UNIT_COUNT,
 };
 
 use crate::config::PipelineConfig;
-use crate::controller::{BranchEvent, NullController, OracleMode, SpeculationController};
+use crate::controller::{NullController, SpeculationController};
+use crate::hotstate::{
+    Bits, CheckpointPool, Completion, DepMatrix, EventWheel, FuPool, RenameTable, Ring,
+};
 use crate::instr::{DynInstr, SeqNum};
 use crate::stats::{MemSummary, PerfStats};
-
-/// Rename table: architectural register → youngest in-flight producer.
-/// `None` means the architectural value is ready in the register file.
-type RenameMap = [Option<SeqNum>; Reg::COUNT];
 
 /// Instruction waiting between fetch and rename (models the in-order
 /// front-end latency).
 #[derive(Debug)]
-struct IfqSlot {
-    d: DynInstr,
-    ready_at: u64,
+pub(crate) struct IfqSlot {
+    pub(crate) d: DynInstr,
+    pub(crate) ready_at: u64,
 }
+
+/// Sentinel for "no LSQ entry" in [`RuuEntry::lsq_slot`].
+pub(crate) const NO_LSQ_SLOT: u32 = u32::MAX;
 
 /// Register update unit (instruction window + reorder buffer) entry.
 #[derive(Debug)]
-struct RuuEntry {
-    d: DynInstr,
+pub(crate) struct RuuEntry {
+    pub(crate) d: DynInstr,
     /// Unresolved producers per source operand.
-    src_wait: [Option<SeqNum>; 2],
-    issued: bool,
-    completed: bool,
-    /// Rename-map snapshot taken when a conditional branch dispatches;
-    /// restored if the branch mispredicts.
-    rename_checkpoint: Option<Box<RenameMap>>,
+    pub(crate) src_wait: [Option<SeqNum>; 2],
+    /// Number of unresolved producers (0 = operands ready).
+    pub(crate) wait_count: u8,
+    pub(crate) issued: bool,
+    pub(crate) completed: bool,
+    /// Pool index of the rename-map snapshot taken when a conditional
+    /// branch dispatches; restored if the branch mispredicts.
+    pub(crate) rename_checkpoint: Option<u32>,
+    /// LSQ slot of this instruction's load/store entry, [`NO_LSQ_SLOT`]
+    /// for non-memory ops.
+    pub(crate) lsq_slot: u32,
 }
+
+/// Sentinel for "no previous store" in [`LsqEntry::prev_store_slot`].
+pub(crate) const NO_STORE_SLOT: u32 = u32::MAX;
 
 /// Load/store queue entry (kept in program order).
 #[derive(Debug, Clone, Copy)]
-struct LsqEntry {
-    seq: SeqNum,
-    is_store: bool,
-    addr: u64,
-    issued: bool,
-}
-
-/// One functional-unit pool.
-#[derive(Debug)]
-struct FuPool {
-    free_at: Vec<u64>,
-    latency: u32,
-    pipelined: bool,
-}
-
-impl FuPool {
-    fn new(count: u32, latency: u32, pipelined: bool) -> FuPool {
-        FuPool { free_at: vec![0; count as usize], latency, pipelined }
-    }
-
-    /// Acquires a unit if one is free, returning its operation latency.
-    fn try_acquire(&mut self, now: u64) -> Option<u32> {
-        let slot = self.free_at.iter_mut().find(|t| **t <= now)?;
-        *slot = now + if self.pipelined { 1 } else { u64::from(self.latency) };
-        Some(self.latency)
-    }
+pub(crate) struct LsqEntry {
+    pub(crate) seq: SeqNum,
+    pub(crate) is_store: bool,
+    pub(crate) addr: u64,
+    pub(crate) issued: bool,
+    /// Physical LSQ slot of the youngest store older than this entry at
+    /// insertion time (validated against slot reuse before use).
+    pub(crate) prev_store_slot: u32,
 }
 
 /// Result of one simulation run.
@@ -206,9 +215,36 @@ impl CoreBuilder {
         let fetch_pc = self.program.block(self.program.entry()).start_pc;
         let ghr = GlobalHistory::new(predictor.history_bits());
         let fu = &self.config.fu;
+        let ruu: Ring<RuuEntry> = Ring::with_capacity(self.config.ruu_size);
+        let ruu_cap = ruu.capacity();
+        let lsq: Ring<LsqEntry> = Ring::with_capacity(self.config.lsq_size);
+        let lsq_cap = lsq.capacity();
+        // The wheel horizon comfortably covers the longest modelled
+        // completion: TLB refill + memory + execute stretch; anything an
+        // exotic axis pushes beyond it lands in the overflow map.
+        let mem = &self.config.mem;
+        let max_latency = u64::from(mem.tlb_miss_latency)
+            + u64::from(mem.l1d.hit_latency)
+            + u64::from(mem.l2.hit_latency)
+            + u64::from(mem.memory_latency)
+            + u64::from(self.config.exec_extra_latency)
+            + u64::from(self.config.fu.fp_mult.1)
+            + 8;
+        let power = PowerModel::new(self.power);
+        // Per-event energies are constant per run: cache them flat so the
+        // hot loop reads an array instead of calling through the model.
+        let mut ev = [0.0; UNIT_COUNT];
+        for u in Unit::all() {
+            ev[u.index()] = power.event_energy(u);
+        }
+        let line_bytes = u64::from(self.config.mem.l1i.line_bytes as u32);
+        let icache_share =
+            power.event_energy(Unit::ICache) / (line_bytes / st_isa::INSTR_BYTES) as f64;
         Core {
             mem: MemoryHierarchy::new(self.config.mem.clone()),
-            power: PowerModel::new(self.power),
+            power,
+            ev,
+            icache_share,
             btb: Btb::paper_default(),
             predictor,
             estimator,
@@ -218,16 +254,24 @@ impl CoreBuilder {
             fetch_pc,
             on_correct_path: true,
             fetch_stall_until: 0,
+            line_shift: (self.config.mem.l1i.line_bytes as u64).trailing_zeros(),
             ifq: VecDeque::new(),
-            ruu: VecDeque::new(),
-            lsq: VecDeque::new(),
-            rename: [None; Reg::COUNT],
+            ruu,
+            ruu_request: Bits::new(ruu_cap),
+            ruu_deps: DepMatrix::new(ruu_cap),
+            issue_scratch: Vec::with_capacity(ruu_cap),
+            lsq,
+            lsq_unissued_stores: Bits::new(lsq_cap),
+            lsq_last_store: NO_STORE_SLOT,
+            rename: RenameTable::new(),
+            checkpoints: CheckpointPool::default(),
             int_alu: FuPool::new(fu.int_alu.0, fu.int_alu.1, true),
             int_mult: FuPool::new(fu.int_mult.0, fu.int_mult.1, false),
             mem_ports: FuPool::new(fu.mem_ports.0, fu.mem_ports.1, true),
             fp_alu: FuPool::new(fu.fp_alu.0, fu.fp_alu.1, true),
             fp_mult: FuPool::new(fu.fp_mult.0, fu.fp_mult.1, false),
-            complete_events: BTreeMap::new(),
+            wheel: EventWheel::new(max_latency as usize),
+            finishing: Vec::new(),
             cycle: 0,
             next_seq: 0,
             activity: CycleActivity::default(),
@@ -244,47 +288,67 @@ impl CoreBuilder {
 
 /// The simulated processor.
 pub struct Core {
-    program: Program,
-    config: PipelineConfig,
+    pub(crate) program: Program,
+    pub(crate) config: PipelineConfig,
 
-    predictor: Box<dyn DirectionPredictor>,
-    estimator: Box<dyn ConfidenceEstimator>,
-    controller: Box<dyn SpeculationController>,
-    btb: Btb,
-    mem: MemoryHierarchy,
-    power: PowerModel,
+    pub(crate) predictor: Box<dyn DirectionPredictor>,
+    pub(crate) estimator: Box<dyn ConfidenceEstimator>,
+    pub(crate) controller: Box<dyn SpeculationController>,
+    pub(crate) btb: Btb,
+    pub(crate) mem: MemoryHierarchy,
+    pub(crate) power: PowerModel,
+    /// Cached per-event energies (`power.event_energy(u)` per unit).
+    pub(crate) ev: [f64; UNIT_COUNT],
+    /// Per-instruction share of one I-cache line access's energy.
+    pub(crate) icache_share: f64,
 
-    walker: Walker,
-    ghr: GlobalHistory,
+    pub(crate) walker: Walker,
+    pub(crate) ghr: GlobalHistory,
 
     // Front end.
-    fetch_pc: Pc,
-    on_correct_path: bool,
-    fetch_stall_until: u64,
-    ifq: VecDeque<IfqSlot>,
+    pub(crate) fetch_pc: Pc,
+    pub(crate) on_correct_path: bool,
+    pub(crate) fetch_stall_until: u64,
+    /// log2 of the L1I line size (fetch groups share a line access).
+    pub(crate) line_shift: u32,
+    pub(crate) ifq: VecDeque<IfqSlot>,
 
-    // Back end.
-    ruu: VecDeque<RuuEntry>,
-    lsq: VecDeque<LsqEntry>,
-    rename: RenameMap,
-    int_alu: FuPool,
-    int_mult: FuPool,
-    mem_ports: FuPool,
-    fp_alu: FuPool,
-    fp_mult: FuPool,
-    /// completion cycle → sequence numbers finishing then.
-    complete_events: BTreeMap<u64, Vec<SeqNum>>,
+    // Back end: slot-stable window + scoreboard.
+    pub(crate) ruu: Ring<RuuEntry>,
+    /// Raised request lines: dispatched, not yet issued, operands ready.
+    pub(crate) ruu_request: Bits,
+    /// Wakeup matrix: row = producer slot, bits = waiting slots.
+    pub(crate) ruu_deps: DepMatrix,
+    /// Reused buffer for the per-cycle request-line snapshot.
+    pub(crate) issue_scratch: Vec<usize>,
+    pub(crate) lsq: Ring<LsqEntry>,
+    /// LSQ slots holding stores whose address is not yet computed.
+    pub(crate) lsq_unissued_stores: Bits,
+    /// Physical LSQ slot of the youngest live store ([`NO_STORE_SLOT`] if
+    /// none was ever pushed; validated against reuse before use).
+    pub(crate) lsq_last_store: u32,
+    pub(crate) rename: RenameTable,
+    pub(crate) checkpoints: CheckpointPool,
+    pub(crate) int_alu: FuPool,
+    pub(crate) int_mult: FuPool,
+    pub(crate) mem_ports: FuPool,
+    pub(crate) fp_alu: FuPool,
+    pub(crate) fp_mult: FuPool,
+    /// Completion cycle → instructions finishing then.
+    pub(crate) wheel: EventWheel,
+    /// Reused buffer for the per-cycle finishing list.
+    pub(crate) finishing: Vec<Completion>,
 
     // Bookkeeping.
-    cycle: u64,
-    next_seq: u64,
-    activity: CycleActivity,
-    account: EnergyAccount,
-    perf: PerfStats,
-    bstats: PredictorStats,
-    cstats: ConfidenceStats,
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) activity: CycleActivity,
+    pub(crate) account: EnergyAccount,
+    pub(crate) perf: PerfStats,
+    pub(crate) bstats: PredictorStats,
+    pub(crate) cstats: ConfidenceStats,
     /// When present, commit PCs are appended here (testing/verification).
-    commit_trace: Option<Vec<Pc>>,
+    pub(crate) commit_trace: Option<Vec<Pc>>,
 }
 
 impl std::fmt::Debug for Core {
@@ -378,665 +442,29 @@ impl Core {
         self.issue();
         self.dispatch();
         self.fetch();
-        let energy = self.power.cycle_energy(&self.activity);
-        self.account.add_cycle(&energy);
+        self.power.accumulate_cycle(&self.activity, &mut self.account);
         self.activity.clear();
         self.cycle += 1;
         self.perf.cycles = self.cycle;
     }
 
-    // ------------------------------------------------------------------
-    // Commit
-    // ------------------------------------------------------------------
-
-    fn commit(&mut self) {
-        for _ in 0..self.config.commit_width {
-            let Some(head) = self.ruu.front() else { break };
-            if !head.completed {
-                break;
-            }
-            let mut e = self.ruu.pop_front().expect("checked non-empty");
-            debug_assert!(!e.d.wrong_path, "wrong-path instruction reached commit");
-
-            // Store data is written to the cache at commit (squashed stores
-            // never touch memory).
-            if e.d.op == OpClass::Store {
-                let addr = e.d.mem_addr.expect("store carries an address");
-                let res = self.mem.access_data(addr, true);
-                self.activity.add(Unit::DCache, 1);
-                e.d.ledger.charge(Unit::DCache, self.power.event_energy(Unit::DCache));
-                if res.l2_accessed {
-                    self.activity.add(Unit::DCache2, 1);
-                    e.d.ledger.charge(Unit::DCache2, self.power.event_energy(Unit::DCache2));
-                }
-            }
-            // Architectural register write.
-            if e.d.dest.is_some() {
-                self.activity.add(Unit::Regfile, 1);
-                e.d.ledger.charge(Unit::Regfile, self.power.event_energy(Unit::Regfile));
-            }
-
-            // Trainer updates: only committed (correct-path) branches train
-            // the tables, so wrong paths cannot corrupt them.
-            if e.d.is_cond_branch() {
-                let dir_correct = e.d.pred_taken == e.d.true_taken;
-                self.bstats.record(dir_correct);
-                if let Some(conf) = e.d.confidence {
-                    self.cstats.record(conf, dir_correct);
-                }
-                let pred = st_bpred::Prediction { taken: e.d.pred_taken, weak: false };
-                self.predictor.update(e.d.pc, e.d.hist_at_predict, e.d.true_taken, e.d.pred_taken);
-                self.estimator.update(e.d.pc, e.d.hist_at_predict, pred, dir_correct);
-                if e.d.true_taken {
-                    self.btb.install(e.d.pc, e.d.true_next);
-                }
-                self.perf.branches_committed += 1;
-                if !dir_correct {
-                    self.perf.mispredicts_committed += 1;
-                }
-            } else if e.d.op == OpClass::Jump {
-                self.btb.install(e.d.pc, e.d.true_next);
-            }
-
-            // Free the rename mapping if this instruction is still the
-            // youngest producer of its destination.
-            if let Some(d) = e.d.dest {
-                if self.rename[d.index()] == Some(e.d.seq) {
-                    self.rename[d.index()] = None;
-                }
-            }
-            // Retire the LSQ entry.
-            if e.d.op.is_mem() {
-                debug_assert_eq!(self.lsq.front().map(|l| l.seq), Some(e.d.seq));
-                self.lsq.pop_front();
-            }
-
-            self.account.settle(&e.d.ledger, InstrFate::Committed);
-            self.perf.committed += 1;
-            if let Some(trace) = &mut self.commit_trace {
-                trace.push(e.d.pc);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Writeback / branch resolution
-    // ------------------------------------------------------------------
-
-    fn writeback(&mut self) {
-        let Some(mut finishing) = self.complete_events.remove(&self.cycle) else { return };
-        finishing.sort_unstable();
-        for seq in finishing {
-            // The instruction may have been squashed since it was issued.
-            let Some(idx) = self.find_ruu(seq) else { continue };
-            self.ruu[idx].completed = true;
-            let d_dest = self.ruu[idx].d.dest;
-
-            // Result broadcast: wake dependants.
-            self.activity.add(Unit::Window, 1);
-            self.ruu[idx].d.ledger.charge(Unit::Window, self.power.event_energy(Unit::Window));
-            if d_dest.is_some() {
-                self.activity.add(Unit::ResultBus, 1);
-                self.ruu[idx]
-                    .d
-                    .ledger
-                    .charge(Unit::ResultBus, self.power.event_energy(Unit::ResultBus));
-                for e in &mut self.ruu {
-                    for w in &mut e.src_wait {
-                        if *w == Some(seq) {
-                            *w = None;
-                        }
-                    }
-                }
-            }
-
-            // Branch resolution.
-            if self.ruu[idx].d.is_cond_branch() {
-                let mispredicted = self.ruu[idx].d.mispredicted();
-                self.controller.on_branch_resolved(seq, mispredicted);
-                if mispredicted {
-                    self.recover(idx, seq);
-                }
-            }
-        }
-    }
-
-    /// Misprediction recovery: squash everything younger than the branch at
-    /// `idx`, restore checkpoints and redirect fetch.
-    fn recover(&mut self, idx: usize, seq: SeqNum) {
-        self.perf.recoveries += 1;
-        let true_next = self.ruu[idx].d.true_next;
-        let true_taken = self.ruu[idx].d.true_taken;
-        let was_wrong_path = self.ruu[idx].d.wrong_path;
-
-        // Squash younger instructions from the fetch queue...
-        while let Some(back) = self.ifq.back() {
-            if back.d.seq <= seq {
-                break;
-            }
-            let slot = self.ifq.pop_back().expect("checked non-empty");
-            self.account.settle(&slot.d.ledger, InstrFate::Squashed);
-            self.perf.squashed += 1;
-        }
-        // ...and the window/LSQ.
-        while let Some(back) = self.ruu.back() {
-            if back.d.seq <= seq {
-                break;
-            }
-            let e = self.ruu.pop_back().expect("checked non-empty");
-            self.account.settle(&e.d.ledger, InstrFate::Squashed);
-            self.perf.squashed += 1;
-        }
-        while let Some(back) = self.lsq.back() {
-            if back.seq <= seq {
-                break;
-            }
-            self.lsq.pop_back();
-        }
-
-        // Restore the rename map from the branch's dispatch-time snapshot.
-        let checkpoint = self.ruu[idx]
-            .rename_checkpoint
-            .take()
-            .expect("conditional branches carry a rename checkpoint");
-        self.rename = *checkpoint;
-
-        // Repair the speculative global history: rewind to the branch's
-        // fetch-time checkpoint, then shift in the resolved outcome.
-        if let Some(cp) = self.ruu[idx].d.hist_checkpoint {
-            self.ghr.restore(cp);
-            self.ghr.push(true_taken);
-        }
-
-        self.controller.on_squash(seq);
-        self.mem.squash_speculative();
-
-        // Redirect fetch. If the *divergence* branch (a correct-path
-        // misprediction) resolved, the machine is back on the architectural
-        // path; a wrong-path branch redirects within the wrong path.
-        self.fetch_pc = true_next;
-        if !was_wrong_path {
-            self.on_correct_path = true;
-        }
-        self.fetch_stall_until = self.cycle + 1 + u64::from(self.config.extra_mispredict_penalty);
-    }
-
-    // ------------------------------------------------------------------
-    // Issue (wakeup happened at writeback; this is select + execute start)
-    // ------------------------------------------------------------------
-
-    fn issue(&mut self) {
-        let mut issued = 0;
-        let oracle = self.controller.oracle();
-        for idx in 0..self.ruu.len() {
-            if self.ruu[idx].issued
-                || self.ruu[idx].completed
-                || self.ruu[idx].src_wait.iter().any(Option::is_some)
-            {
-                continue;
-            }
-            // Selection throttling: the no-select bit keeps the entry from
-            // raising its request line while the trigger is unresolved
-            // (Figure 2) — which also saves the selection-arbitration
-            // energy charged to requesting entries below.
-            if let Some(trigger) = self.ruu[idx].d.no_select_trigger {
-                if self.branch_unresolved(trigger) {
-                    self.perf.selection_blocked += 1;
-                    continue;
-                }
-                self.ruu[idx].d.no_select_trigger = None;
-            }
-            if oracle == OracleMode::Select && self.ruu[idx].d.wrong_path {
-                continue;
-            }
-
-            // The entry raises its request line: selection arbitration
-            // burns window energy every cycle the entry competes, granted
-            // or not (this is the activity the no-select bit suppresses).
-            self.activity.add(Unit::Window, 1);
-            let window_event = self.power.event_energy(Unit::Window);
-            self.ruu[idx].d.ledger.charge(Unit::Window, window_event);
-
-            if issued >= self.config.issue_width {
-                continue; // requesting but no issue slot this cycle
-            }
-
-            let op = self.ruu[idx].d.op;
-            let latency = match op {
-                OpClass::IntAlu | OpClass::Branch => self.int_alu.try_acquire(self.cycle),
-                OpClass::IntMult => self.int_mult.try_acquire(self.cycle),
-                OpClass::FpAlu => self.fp_alu.try_acquire(self.cycle),
-                OpClass::FpMult => self.fp_mult.try_acquire(self.cycle),
-                OpClass::Load | OpClass::Store => {
-                    if let Some(lat) = self.mem_issue_latency(idx) {
-                        self.mem_ports.try_acquire(self.cycle).map(|port_lat| port_lat + lat)
-                    } else {
-                        continue; // memory-ordering block, retry next cycle
-                    }
-                }
-                OpClass::Jump | OpClass::Nop => unreachable!("complete at dispatch"),
-            };
-            let Some(latency) = latency else { continue };
-
-            let e = &mut self.ruu[idx];
-            e.issued = true;
-            let done = self.cycle + u64::from(latency + self.config.exec_extra_latency).max(1);
-            self.complete_events.entry(done).or_default().push(e.d.seq);
-
-            // FU energy (the window read was charged with the request).
-            self.activity.add(Unit::Alu, 1);
-            e.d.ledger.charge(Unit::Alu, self.power.event_energy(Unit::Alu));
-            if op.is_mem() {
-                self.activity.add(Unit::Lsq, 1);
-                e.d.ledger.charge(Unit::Lsq, self.power.event_energy(Unit::Lsq));
-            }
-
-            self.perf.issued += 1;
-            if e.d.wrong_path {
-                self.perf.wrong_path_issued += 1;
-            }
-            issued += 1;
-
-            if op == OpClass::Store {
-                if let Some(l) = self.lsq.iter_mut().find(|l| l.seq == e.d.seq) {
-                    l.issued = true;
-                }
-            }
-        }
-    }
-
-    /// Memory-ordering check for the memory instruction at RUU `idx`;
-    /// returns the cache-access latency if it may issue now.
-    fn mem_issue_latency(&mut self, idx: usize) -> Option<u32> {
-        let seq = self.ruu[idx].d.seq;
-        let is_store = self.ruu[idx].d.op == OpClass::Store;
-        let addr = self.ruu[idx].d.mem_addr.expect("memory op carries address");
-
-        if is_store {
-            // Stores only compute their address here; data goes to the
-            // cache at commit.
-            if let Some(l) = self.lsq.iter_mut().find(|l| l.seq == seq) {
-                l.issued = true;
-            }
-            return Some(0);
-        }
-
-        // Loads: all older stores must have known addresses; forward when
-        // the youngest older store matches.
-        let mut forward = false;
-        for l in self.lsq.iter().rev() {
-            if l.seq >= seq || !l.is_store {
-                continue;
-            }
-            if !l.issued {
-                return None; // unknown older store address
-            }
-            if l.addr == addr {
-                forward = true;
-            }
-            break; // youngest older store decides (conservative chain ends)
-        }
-        // The scan above only examines the youngest older store; older ones
-        // with unknown addresses must also block.
-        if self.lsq.iter().any(|l| l.seq < seq && l.is_store && !l.issued) {
-            return None;
-        }
-
-        if forward {
-            return Some(1); // store-to-load forwarding
-        }
-        let res = if self.ruu[idx].d.wrong_path {
-            self.mem.access_data_wrong_path(addr)
-        } else {
-            self.mem.access_data(addr, false)
-        };
-        self.activity.add(Unit::DCache, 1);
-        self.ruu[idx].d.ledger.charge(Unit::DCache, self.power.event_energy(Unit::DCache));
-        if res.l2_accessed {
-            self.activity.add(Unit::DCache2, 1);
-            self.ruu[idx].d.ledger.charge(Unit::DCache2, self.power.event_energy(Unit::DCache2));
-        }
-        Some(res.latency)
+    /// Physical RUU slot holding sequence number `seq`, if in flight.
+    /// Binary search: ring order is dispatch order is seq order.
+    pub(crate) fn find_ruu(&self, seq: SeqNum) -> Option<usize> {
+        self.ruu.find_by_key(seq, |e| e.d.seq)
     }
 
     /// Whether the branch with sequence number `seq` is still in flight and
     /// unresolved (used by the no-select logic).
-    fn branch_unresolved(&self, seq: SeqNum) -> bool {
+    pub(crate) fn branch_unresolved(&self, seq: SeqNum) -> bool {
         match self.find_ruu(seq) {
-            Some(idx) => !self.ruu[idx].completed,
+            Some(slot) => !self.ruu.get(slot).expect("live slot").completed,
             None => false, // resolved and committed, or squashed
         }
     }
 
-    fn find_ruu(&self, seq: SeqNum) -> Option<usize> {
-        // RUU is sorted by seq: binary search.
-        let mut lo = 0usize;
-        let mut hi = self.ruu.len();
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            match self.ruu[mid].d.seq.cmp(&seq) {
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return Some(mid),
-            }
-        }
-        None
-    }
-
-    // ------------------------------------------------------------------
-    // Dispatch (decode + rename + window/LSQ insert)
-    // ------------------------------------------------------------------
-
-    fn dispatch(&mut self) {
-        let width = self.config.decode_width;
-        let mut allowance = self.controller.decode_allowance(self.cycle, width).min(width);
-        // Instructions at or below the horizon predate every active decode
-        // trigger (including the trigger branch itself) and are exempt from
-        // the gate; without this, a decode stall could strand its own
-        // trigger branch in the fetch queue forever.
-        let horizon = self.controller.decode_bypass_horizon();
-        let oracle = self.controller.oracle();
-        let mut dispatched = 0;
-        let mut gated = false;
-        while dispatched < width {
-            let Some(front) = self.ifq.front() else { break };
-            if front.ready_at > self.cycle {
-                break;
-            }
-            let exempt = horizon.is_some_and(|h| front.d.seq <= h);
-            if allowance == 0 && !exempt {
-                gated = true;
-                break;
-            }
-            if oracle == OracleMode::Decode && front.d.wrong_path {
-                break; // refuse wrong-path instructions; squash clears them
-            }
-            if self.ruu.len() >= self.config.ruu_size {
-                break;
-            }
-            if front.d.op.is_mem() && self.lsq.len() >= self.config.lsq_size {
-                break;
-            }
-
-            let mut d = self.ifq.pop_front().expect("checked non-empty").d;
-
-            // Rename: resolve source operands against in-flight producers.
-            let mut src_wait = [None, None];
-            let mut ready_reads = 0u32;
-            for (i, src) in [d.src1, d.src2].into_iter().enumerate() {
-                let Some(r) = src else { continue };
-                match self.rename[r.index()] {
-                    Some(producer) => match self.find_ruu(producer) {
-                        Some(pidx) if !self.ruu[pidx].completed => {
-                            src_wait[i] = Some(producer);
-                        }
-                        _ => ready_reads += 1, // completed or already retired
-                    },
-                    None => ready_reads += 1,
-                }
-            }
-            // Conditional branches snapshot the rename map for recovery.
-            let rename_checkpoint = d.is_cond_branch().then(|| Box::new(self.rename));
-            if let Some(dest) = d.dest {
-                self.rename[dest.index()] = Some(d.seq);
-            }
-
-            // Energy: rename slot, window insert, register reads of ready
-            // operands (Wattch footnote 2 semantics).
-            self.activity.add(Unit::Rename, 1);
-            d.ledger.charge(Unit::Rename, self.power.event_energy(Unit::Rename));
-            self.activity.add(Unit::Window, 1);
-            d.ledger.charge(Unit::Window, self.power.event_energy(Unit::Window));
-            if ready_reads > 0 {
-                self.activity.add(Unit::Regfile, ready_reads);
-                d.ledger.charge(
-                    Unit::Regfile,
-                    f64::from(ready_reads) * self.power.event_energy(Unit::Regfile),
-                );
-            }
-
-            // Selection-throttling tag (Figure 2's no-select bit).
-            if let Some(trigger) = self.controller.no_select_trigger() {
-                if trigger < d.seq && self.branch_unresolved(trigger) {
-                    d.no_select_trigger = Some(trigger);
-                }
-            }
-
-            let completed = !d.needs_fu();
-            if d.op.is_mem() {
-                self.lsq.push_back(LsqEntry {
-                    seq: d.seq,
-                    is_store: d.op == OpClass::Store,
-                    addr: d.mem_addr.expect("memory op carries address"),
-                    issued: false,
-                });
-            }
-
-            self.perf.dispatched += 1;
-            if d.wrong_path {
-                self.perf.wrong_path_dispatched += 1;
-            }
-            self.ruu.push_back(RuuEntry {
-                d,
-                src_wait,
-                issued: completed,
-                completed,
-                rename_checkpoint,
-            });
-            dispatched += 1;
-            if !exempt {
-                allowance -= 1;
-            }
-        }
-        if gated && dispatched == 0 {
-            self.perf.decode_gated_cycles += 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fetch
-    // ------------------------------------------------------------------
-
-    fn fetch(&mut self) {
-        if self.cycle < self.fetch_stall_until {
-            return;
-        }
-        let oracle = self.controller.oracle();
-        if oracle == OracleMode::Fetch && !self.on_correct_path {
-            return; // oracle fetch: never fetch down a wrong path
-        }
-        let width = self.config.fetch_width;
-        let mut allowance = self.controller.fetch_allowance(self.cycle, width).min(width);
-        if allowance == 0 {
-            self.perf.fetch_gated_cycles += 1;
-            return;
-        }
-        let free = self.config.ifq_size.saturating_sub(self.ifq.len());
-        allowance = allowance.min(free as u32);
-
-        let line_bytes = u64::from(self.config.mem.l1i.line_bytes as u32);
-        let mut cur_line = u64::MAX;
-        let mut taken_this_cycle = 0u32;
-        let icache_share =
-            self.power.event_energy(Unit::ICache) / (line_bytes / INSTR_BYTES) as f64;
-
-        while allowance > 0 {
-            let pc = self.fetch_pc;
-            // I-cache line access.
-            let line = pc.addr() / line_bytes;
-            if line != cur_line {
-                let res = if self.on_correct_path {
-                    self.mem.access_instr(pc.addr())
-                } else {
-                    self.mem.access_instr_wrong_path(pc.addr())
-                };
-                self.activity.add(Unit::ICache, 1);
-                if res.l2_accessed {
-                    self.activity.add(Unit::DCache2, 1);
-                }
-                if !res.l1_hit {
-                    self.fetch_stall_until = self.cycle + u64::from(res.latency);
-                    break;
-                }
-                cur_line = line;
-            }
-
-            let mut d = if self.on_correct_path {
-                debug_assert!(
-                    self.program.instr_at(pc).is_some(),
-                    "correct-path fetch pc {pc} must name an instruction"
-                );
-                let arch = self.walker.next_instr(&self.program);
-                debug_assert_eq!(arch.pc, pc, "fetch desynchronised from walker");
-                self.new_dyn(
-                    pc,
-                    arch.instr.op,
-                    arch.instr.dest,
-                    arch.instr.src1,
-                    arch.instr.src2,
-                    false,
-                    arch.taken,
-                    arch.next_pc,
-                    arch.branch,
-                    arch.mem_addr,
-                )
-            } else {
-                let Some((block_id, idx, instr)) = self.program.instr_at(pc) else {
-                    break; // wrong path ran off the code image: idle until redirect
-                };
-                let instr = *instr;
-                let block = self.program.block(block_id);
-                let is_last = idx + 1 == block.len();
-                let (truth_taken, truth_next, branch_id) = if is_last {
-                    match block.terminator {
-                        st_isa::Terminator::Fallthrough(next) | st_isa::Terminator::Jump(next) => {
-                            (None, self.program.block(next).start_pc, None)
-                        }
-                        st_isa::Terminator::Branch { branch, .. } => {
-                            let spec = self.walker.speculative_branch_outcome(
-                                &self.program,
-                                branch,
-                                self.next_seq,
-                            );
-                            let next = block.terminator.successor(spec);
-                            (Some(spec), self.program.block(next).start_pc, Some(branch))
-                        }
-                    }
-                } else {
-                    (None, pc.next(), None)
-                };
-                let mem_addr = instr
-                    .stream
-                    .map(|s| self.walker.wrong_path_mem_addr(&self.program, s, self.next_seq));
-                self.new_dyn(
-                    pc,
-                    instr.op,
-                    instr.dest,
-                    instr.src1,
-                    instr.src2,
-                    true,
-                    truth_taken,
-                    truth_next,
-                    branch_id,
-                    mem_addr,
-                )
-            };
-
-            d.ledger.charge(Unit::ICache, icache_share);
-
-            // Control flow decides where fetch continues.
-            let mut end_group = false;
-            match d.op {
-                OpClass::Branch => {
-                    let hist = self.ghr.value();
-                    let pred = self.predictor.predict(pc, hist);
-                    let conf = self.estimator.estimate(pc, hist, pred);
-                    self.activity.add(Unit::Bpred, 1);
-                    d.ledger.charge(Unit::Bpred, self.power.event_energy(Unit::Bpred));
-
-                    let btb_target = if pred.taken { self.btb.lookup(pc) } else { None };
-                    // BTB miss on a taken prediction falls through, like
-                    // SimpleScalar's front end.
-                    let effective_taken = pred.taken && btb_target.is_some();
-                    let pred_next =
-                        if effective_taken { btb_target.expect("checked") } else { pc.next() };
-
-                    d.pred_taken = effective_taken;
-                    d.pred_next = pred_next;
-                    d.confidence = Some(conf);
-                    d.hist_checkpoint = Some(self.ghr);
-                    d.hist_at_predict = hist;
-                    self.ghr.push(effective_taken);
-
-                    self.controller.on_branch_predicted(&BranchEvent {
-                        seq: d.seq,
-                        pc,
-                        confidence: conf,
-                        wrong_path: d.wrong_path,
-                    });
-
-                    // Divergence detection (the simulator knows the truth;
-                    // the "hardware" does not).
-                    if self.on_correct_path
-                        && (d.pred_taken != d.true_taken || pred_next != d.true_next)
-                    {
-                        self.on_correct_path = false;
-                        if oracle == OracleMode::Fetch {
-                            end_group = true; // stop before any wrong-path instruction
-                        }
-                    }
-
-                    self.fetch_pc = pred_next;
-                    if effective_taken {
-                        taken_this_cycle += 1;
-                        if taken_this_cycle >= self.config.max_taken_per_cycle {
-                            end_group = true;
-                        }
-                    }
-                }
-                OpClass::Jump => {
-                    self.activity.add(Unit::Bpred, 1);
-                    d.ledger.charge(Unit::Bpred, self.power.event_energy(Unit::Bpred));
-                    let target = d.true_next;
-                    d.pred_taken = true;
-                    d.pred_next = target;
-                    if self.btb.lookup(pc).is_some() {
-                        taken_this_cycle += 1;
-                        if taken_this_cycle >= self.config.max_taken_per_cycle {
-                            end_group = true;
-                        }
-                    } else {
-                        // BTB miss: the target is produced at decode; model
-                        // the refill bubble.
-                        self.fetch_stall_until =
-                            self.cycle + 1 + u64::from(self.config.jump_btb_miss_bubble);
-                        end_group = true;
-                    }
-                    self.fetch_pc = target;
-                }
-                _ => {
-                    d.pred_next = pc.next();
-                    self.fetch_pc = pc.next();
-                }
-            }
-
-            self.perf.fetched += 1;
-            if d.wrong_path {
-                self.perf.wrong_path_fetched += 1;
-            }
-            self.ifq.push_back(IfqSlot {
-                d,
-                ready_at: self.cycle + 1 + u64::from(self.config.front_latency),
-            });
-            allowance -= 1;
-            if end_group {
-                break;
-            }
-        }
-    }
-
     #[allow(clippy::too_many_arguments)]
-    fn new_dyn(
+    pub(crate) fn new_dyn(
         &mut self,
         pc: Pc,
         op: OpClass,
@@ -1232,5 +660,26 @@ mod tests {
         // Attributed energy cannot exceed total energy.
         let attributed: f64 = r.energy.wasted_per_unit.iter().sum::<f64>();
         assert!(attributed <= r.energy.energy);
+    }
+
+    #[test]
+    fn scoreboard_invariants_hold_under_load() {
+        // The request bitset and wait counts must stay consistent with the
+        // entry flags across squashes and wrap-around.
+        let mut core = CoreBuilder::new(program(11)).build();
+        for _ in 0..3_000 {
+            core.step();
+            for (slot, e) in core.ruu.iter() {
+                if e.issued {
+                    assert_eq!(e.wait_count, 0, "issued entries cannot wait");
+                }
+                assert_eq!(
+                    e.wait_count as usize,
+                    e.src_wait.iter().filter(|w| w.is_some()).count(),
+                    "wait_count mirrors src_wait at slot {slot}"
+                );
+            }
+        }
+        assert!(core.perf.committed > 0);
     }
 }

@@ -29,6 +29,16 @@
 //! (§4.1's selection throttling — the no-select bit of Figure 2) and
 //! oracle modes (§3's oracle fetch/decode/select experiments).
 //!
+//! Internally the core is organised as a thin cycle loop ([`core`])
+//! over front-end (`frontend`: fetch, dispatch) and back-end
+//! (`backend`: issue, writeback, commit) stage modules, backed by
+//! flat-array/bitset microarchitectural state (slot-stable RUU/LSQ
+//! rings, dependant-mask wakeup, request-line bitsets, an event wheel
+//! and pooled rename checkpoints in `hotstate`) — see the README's
+//! "Architecture & hot path" section.
+//! The representation is tuned for simulation speed; observable
+//! behaviour is pinned bit-for-bit by `st-sweep`'s golden tests.
+//!
 //! ## Example
 //!
 //! ```
@@ -45,9 +55,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 pub mod config;
 pub mod controller;
 pub mod core;
+mod frontend;
+mod hotstate;
 pub mod instr;
 pub mod stats;
 

@@ -157,6 +157,13 @@ pub struct CycleEnergy {
 }
 
 /// The compiled power model.
+///
+/// All per-unit constants of the cc3 formula (peak cycle energy, active
+/// scale, clamped port counts) are precomputed at construction, so the
+/// per-cycle [`PowerModel::cycle_energy`] does no division for idle or
+/// saturated units and never re-derives geometry from the configuration.
+/// The precomputed products are the *same* f64 operations the formula
+/// performed inline, so results are bit-identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     config: PowerConfig,
@@ -165,6 +172,16 @@ pub struct PowerModel {
     event_energy: [f64; UNIT_COUNT],
     /// Per-cycle idle-floor energy per unit.
     idle_energy: [f64; UNIT_COUNT],
+    /// `max_cycle_energy(u)` per unit.
+    max_energy: [f64; UNIT_COUNT],
+    /// `max_cycle_energy(u) * (1 - idle_frac)` per unit (cc3 active part).
+    active_scale: [f64; UNIT_COUNT],
+    /// `ports[u].max(1.0)` per unit.
+    ports_clamped: [f64; UNIT_COUNT],
+    /// Sum of non-clock shares (the clock-usage weight denominator),
+    /// accumulated in `Unit::all()` order exactly as the per-cycle loop
+    /// used to, so the precomputed value is bit-identical.
+    weight_sum: f64,
 }
 
 impl PowerModel {
@@ -173,8 +190,13 @@ impl PowerModel {
     pub fn new(config: PowerConfig) -> PowerModel {
         let mut event_energy = [0.0; UNIT_COUNT];
         let mut idle_energy = [0.0; UNIT_COUNT];
+        let mut max_energy = [0.0; UNIT_COUNT];
+        let mut active_scale = [0.0; UNIT_COUNT];
+        let mut ports_clamped = [1.0; UNIT_COUNT];
         for u in Unit::all() {
             let emax = config.max_cycle_energy(u);
+            max_energy[u.index()] = emax;
+            ports_clamped[u.index()] = config.ports[u.index()].max(1.0);
             match config.gating {
                 ClockGating::None => {
                     event_energy[u.index()] = 0.0;
@@ -184,10 +206,25 @@ impl PowerModel {
                     event_energy[u.index()] =
                         emax * (1.0 - idle_frac) / config.ports[u.index()].max(1.0);
                     idle_energy[u.index()] = emax * idle_frac;
+                    active_scale[u.index()] = emax * (1.0 - idle_frac);
                 }
             }
         }
-        PowerModel { config, event_energy, idle_energy }
+        let mut weight_sum = 0.0;
+        for u in Unit::all() {
+            if u != Unit::Clock {
+                weight_sum += config.shares[u.index()];
+            }
+        }
+        PowerModel {
+            config,
+            event_energy,
+            idle_energy,
+            max_energy,
+            active_scale,
+            ports_clamped,
+            weight_sum,
+        }
     }
 
     /// The underlying configuration.
@@ -204,20 +241,34 @@ impl PowerModel {
     }
 
     /// Usage fraction of a unit given its event count this cycle.
+    ///
+    /// Fast paths: an idle unit is exactly `0.0` and a saturated one
+    /// exactly `1.0` — the same values `(count/ports).min(1.0)` produces
+    /// (port counts exceed any integer count strictly below them by at
+    /// least 1, so the quotient cannot round up to 1.0) — leaving the
+    /// division for genuinely partial usage only.
     fn usage(&self, unit: Unit, count: u32) -> f64 {
-        (f64::from(count) / self.config.ports[unit.index()].max(1.0)).min(1.0)
+        if count == 0 {
+            return 0.0;
+        }
+        let ports = self.ports_clamped[unit.index()];
+        let count = f64::from(count);
+        if count >= ports {
+            return 1.0;
+        }
+        (count / ports).min(1.0)
     }
 
-    /// Energy spent this cycle under the configured gating style.
+    /// The per-unit cycle energies (shared core of [`PowerModel::cycle_energy`]
+    /// and [`PowerModel::accumulate_cycle`]).
     ///
     /// The clock unit's usage is the share-weighted mean usage of all other
     /// units, reflecting that under cc3 the clock tree's load is the sum of
     /// the clocked (ungated) regions.
-    #[must_use]
-    pub fn cycle_energy(&self, activity: &CycleActivity) -> CycleEnergy {
+    fn per_unit_energy(&self, activity: &CycleActivity) -> [f64; UNIT_COUNT] {
         let mut per_unit = [0.0; UNIT_COUNT];
         let mut weighted_usage = 0.0;
-        let mut weight = 0.0;
+        let cc3 = matches!(self.config.gating, ClockGating::Cc3 { .. });
         for u in Unit::all() {
             if u == Unit::Clock {
                 continue;
@@ -225,39 +276,46 @@ impl PowerModel {
             let usage = self.usage(u, activity.count(u));
             let share = self.config.shares[u.index()];
             weighted_usage += share * usage;
-            weight += share;
-            per_unit[u.index()] = match self.config.gating {
-                ClockGating::None => self.idle_energy[u.index()],
-                ClockGating::Cc3 { .. } => {
-                    self.idle_energy[u.index()]
-                        + self.config.max_cycle_energy(u)
-                            * (1.0 - idle_frac_of(self.config.gating))
-                            * usage
-                }
+            per_unit[u.index()] = if cc3 {
+                self.idle_energy[u.index()] + self.active_scale[u.index()] * usage
+            } else {
+                self.idle_energy[u.index()]
             };
         }
-        let clock_usage = if weight > 0.0 { weighted_usage / weight } else { 0.0 };
+        let clock_usage =
+            if self.weight_sum > 0.0 { weighted_usage / self.weight_sum } else { 0.0 };
         per_unit[Unit::Clock.index()] = match self.config.gating {
             ClockGating::None => self.idle_energy[Unit::Clock.index()],
             ClockGating::Cc3 { idle_frac } => {
-                self.config.max_cycle_energy(Unit::Clock)
-                    * (idle_frac + (1.0 - idle_frac) * clock_usage)
+                self.max_energy[Unit::Clock.index()] * (idle_frac + (1.0 - idle_frac) * clock_usage)
             }
         };
+        per_unit
+    }
+
+    /// Energy spent this cycle under the configured gating style.
+    #[must_use]
+    pub fn cycle_energy(&self, activity: &CycleActivity) -> CycleEnergy {
+        let per_unit = self.per_unit_energy(activity);
         CycleEnergy { total: per_unit.iter().sum(), per_unit }
+    }
+
+    /// Integrates one cycle's energy straight into `account`: the exact
+    /// additions `account.add_cycle(&self.cycle_energy(a))` performs,
+    /// without materialising the `total` (which the hot loop never reads)
+    /// or copying the report struct.
+    pub fn accumulate_cycle(&self, activity: &CycleActivity, account: &mut crate::EnergyAccount) {
+        let per_unit = self.per_unit_energy(activity);
+        account.cycles += 1;
+        for (acc, e) in account.per_unit.iter_mut().zip(per_unit.iter()) {
+            *acc += e;
+        }
     }
 
     /// Peak power of the modelled chip in watts.
     #[must_use]
     pub fn peak_watts(&self) -> f64 {
         self.config.total_watts
-    }
-}
-
-fn idle_frac_of(g: ClockGating) -> f64 {
-    match g {
-        ClockGating::None => 0.0,
-        ClockGating::Cc3 { idle_frac } => idle_frac,
     }
 }
 

@@ -1,0 +1,314 @@
+//! The `BENCH_sweep.json` perf artifact.
+//!
+//! One JSON file tracks the repository's performance trajectory across
+//! two instruments: the **repro** section (`st repro` wall-clock per
+//! figure plus cache effectiveness — the end-to-end number) and the
+//! **core_bench** section (`st bench` steady-state simulated
+//! instructions/sec — the hot-loop number). Either tool updates its own
+//! section *in place* and preserves the other's, so CI can run them in
+//! any order and upload one artifact.
+//!
+//! The top-level layout keeps the original `st repro` schema (`bench`,
+//! `total_seconds`, `figures`, …) so existing consumers keep parsing,
+//! with `core_bench` as an additional member.
+
+use std::path::Path;
+
+use crate::bench::{BenchPoint, BenchResult};
+use crate::emit::{json_escape, json_num, write_text};
+use crate::json::Json;
+
+/// The `st repro` section: wall-clock and cache effectiveness of one
+/// full-paper reproduction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReproSection {
+    /// Unix time the repro finished.
+    pub unix_time: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Dynamic instruction budget per point.
+    pub instructions_per_point: u64,
+    /// Workload count.
+    pub workloads: u64,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Per-figure `(name, seconds)` timings.
+    pub figures: Vec<(String, f64)>,
+    /// Distinct points simulated (cache misses).
+    pub simulated_points: u64,
+    /// Cache hits (incl. batch dedup).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// In-memory cache entries at the end of the run.
+    pub cache_entries: u64,
+    /// Entries preloaded from the persistent cache.
+    pub cache_loaded: u64,
+    /// Hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+/// The `st bench` section: steady-state hot-loop throughput.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoreBenchSection {
+    /// Unix time the bench finished.
+    pub unix_time: u64,
+    /// Geometric-mean simulated instructions/sec across points.
+    pub geomean_instr_per_sec: f64,
+    /// Whether the determinism probe passed.
+    pub deterministic: bool,
+    /// Per-point measurements.
+    pub points: Vec<BenchPoint>,
+}
+
+impl CoreBenchSection {
+    /// Builds the section from a bench run.
+    #[must_use]
+    pub fn from_result(result: &BenchResult, unix_time: u64) -> CoreBenchSection {
+        CoreBenchSection {
+            unix_time,
+            geomean_instr_per_sec: result.geomean_instr_per_sec,
+            deterministic: result.deterministic,
+            points: result.points.clone(),
+        }
+    }
+}
+
+/// Updates `path`, replacing the given section(s) and preserving the
+/// other from the existing file (if readable).
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn update(
+    path: &Path,
+    repro: Option<&ReproSection>,
+    core: Option<&CoreBenchSection>,
+) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).ok().and_then(|t| Json::parse(&t).ok());
+    let preserved_repro;
+    let repro = match repro {
+        Some(r) => Some(r),
+        None => {
+            preserved_repro = existing.as_ref().and_then(parse_repro);
+            preserved_repro.as_ref()
+        }
+    };
+    let preserved_core;
+    let core = match core {
+        Some(c) => Some(c),
+        None => {
+            preserved_core = existing.as_ref().and_then(parse_core);
+            preserved_core.as_ref()
+        }
+    };
+    write_text(path, &render(repro, core))
+}
+
+fn render(repro: Option<&ReproSection>, core: Option<&CoreBenchSection>) -> String {
+    let mut out = String::from("{\n  \"bench\": \"st_repro\"");
+    if let Some(r) = repro {
+        let figures: Vec<String> = r
+            .figures
+            .iter()
+            .map(|(name, secs)| {
+                format!("{{\"name\":\"{}\",\"seconds\":{}}}", json_escape(name), json_num(*secs))
+            })
+            .collect();
+        out.push_str(&format!(
+            ",\n  \"unix_time\": {},\n  \"threads\": {},\n  \"instructions_per_point\": {},\n  \"workloads\": {},\n  \"total_seconds\": {},\n  \"figures\": [{}],\n  \"simulated_points\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"loaded\": {}, \"hit_rate\": {}}}",
+            r.unix_time,
+            r.threads,
+            r.instructions_per_point,
+            r.workloads,
+            json_num(r.total_seconds),
+            figures.join(","),
+            r.simulated_points,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_entries,
+            r.cache_loaded,
+            json_num(r.cache_hit_rate),
+        ));
+    }
+    if let Some(c) = core {
+        let points: Vec<String> = c
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"workload\":\"{}\",\"experiment\":\"{}\",\"instructions\":{},\"seconds\":{},\"instr_per_sec\":{},\"cycles_per_sec\":{},\"ipc\":{}}}",
+                    json_escape(&p.workload),
+                    json_escape(&p.experiment),
+                    p.instructions,
+                    json_num(p.seconds),
+                    json_num(p.instr_per_sec),
+                    json_num(p.cycles_per_sec),
+                    json_num(p.ipc),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            ",\n  \"core_bench\": {{\n    \"unix_time\": {},\n    \"geomean_instr_per_sec\": {},\n    \"deterministic\": {},\n    \"points\": [{}]\n  }}",
+            c.unix_time,
+            json_num(c.geomean_instr_per_sec),
+            c.deterministic,
+            points.join(","),
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn parse_repro(json: &Json) -> Option<ReproSection> {
+    // A repro section is present when the legacy top-level fields are.
+    let total_seconds = json.get("total_seconds")?.as_f64().ok()?;
+    let cache = json.get("cache")?;
+    let figures = match json.get("figures")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|f| {
+                Some((f.get("name")?.as_str().ok()?.to_string(), f.get("seconds")?.as_f64().ok()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    Some(ReproSection {
+        unix_time: json.get("unix_time")?.as_u64().ok()?,
+        threads: json.get("threads")?.as_u64().ok()?,
+        instructions_per_point: json.get("instructions_per_point")?.as_u64().ok()?,
+        workloads: json.get("workloads")?.as_u64().ok()?,
+        total_seconds,
+        figures,
+        simulated_points: json.get("simulated_points")?.as_u64().ok()?,
+        cache_hits: cache.get("hits")?.as_u64().ok()?,
+        cache_misses: cache.get("misses")?.as_u64().ok()?,
+        cache_entries: cache.get("entries")?.as_u64().ok()?,
+        cache_loaded: cache.get("loaded").and_then(|v| v.as_u64().ok()).unwrap_or(0),
+        cache_hit_rate: cache.get("hit_rate")?.as_f64().ok()?,
+    })
+}
+
+fn parse_core(json: &Json) -> Option<CoreBenchSection> {
+    let c = json.get("core_bench")?;
+    let points = match c.get("points")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|p| {
+                Some(BenchPoint {
+                    workload: p.get("workload")?.as_str().ok()?.to_string(),
+                    experiment: p.get("experiment")?.as_str().ok()?.to_string(),
+                    instructions: p.get("instructions")?.as_u64().ok()?,
+                    seconds: p.get("seconds")?.as_f64().ok()?,
+                    instr_per_sec: p.get("instr_per_sec")?.as_f64().ok()?,
+                    cycles_per_sec: p.get("cycles_per_sec")?.as_f64().ok()?,
+                    ipc: p.get("ipc")?.as_f64().ok()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    Some(CoreBenchSection {
+        unix_time: c.get("unix_time")?.as_u64().ok()?,
+        geomean_instr_per_sec: c.get("geomean_instr_per_sec")?.as_f64().ok()?,
+        deterministic: c.get("deterministic")?.as_f64().ok()? != 0.0,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repro() -> ReproSection {
+        ReproSection {
+            unix_time: 42,
+            threads: 2,
+            instructions_per_point: 1000,
+            workloads: 8,
+            total_seconds: 1.5,
+            figures: vec![("table1".into(), 0.5), ("fig3_fetch".into(), 1.0)],
+            simulated_points: 10,
+            cache_hits: 3,
+            cache_misses: 10,
+            cache_entries: 10,
+            cache_loaded: 0,
+            cache_hit_rate: 3.0 / 13.0,
+        }
+    }
+
+    fn core() -> CoreBenchSection {
+        CoreBenchSection {
+            unix_time: 43,
+            geomean_instr_per_sec: 5e5,
+            deterministic: true,
+            points: vec![BenchPoint {
+                workload: "go".into(),
+                experiment: "BASE".into(),
+                instructions: 20_000,
+                seconds: 0.04,
+                instr_per_sec: 5e5,
+                cycles_per_sec: 3.3e5,
+                ipc: 1.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn sections_survive_alternating_updates() {
+        let dir = std::env::temp_dir().join(format!("st-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+
+        // Repro first, then bench: both sections present afterwards.
+        update(&path, Some(&repro()), None).expect("write repro");
+        update(&path, None, Some(&core())).expect("write core");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = Json::parse(&text).expect("valid json");
+        let r = parse_repro(&json).expect("repro preserved");
+        assert_eq!(r, repro());
+        let c = parse_core(&json).expect("core written");
+        assert_eq!(c, core());
+
+        // A later repro refresh keeps the bench section.
+        let mut r2 = repro();
+        r2.total_seconds = 9.0;
+        update(&path, Some(&r2), None).expect("update repro");
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parse_repro(&json).unwrap().total_seconds, 9.0);
+        assert_eq!(parse_core(&json).unwrap(), core(), "core section preserved");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reads_legacy_repro_only_files() {
+        // The pre-core_bench schema (what seed `st repro` wrote) parses as
+        // a repro section with `loaded` defaulting sensibly.
+        let legacy = r#"{
+  "bench": "st_repro", "unix_time": 1, "threads": 1,
+  "instructions_per_point": 200000, "workloads": 8,
+  "total_seconds": 132.7,
+  "figures": [{"name":"table1","seconds":4.97}],
+  "simulated_points": 448,
+  "cache": {"hits": 88, "misses": 448, "entries": 448, "hit_rate": 0.164}
+}"#;
+        let json = Json::parse(legacy).expect("legacy parses");
+        let r = parse_repro(&json).expect("repro section");
+        assert_eq!(r.simulated_points, 448);
+        assert_eq!(r.cache_loaded, 0, "missing `loaded` defaults to 0");
+        assert!(parse_core(&json).is_none());
+    }
+
+    #[test]
+    fn missing_file_is_fine() {
+        let dir = std::env::temp_dir().join(format!("st-artifact-missing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_sweep.json");
+        update(&path, None, Some(&core())).expect("write into fresh dir");
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(parse_repro(&json).is_none());
+        assert_eq!(parse_core(&json).unwrap(), core());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,12 +3,22 @@
 //! ```text
 //! st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH] [--no-cache]
 //!     Regenerates every paper figure/table in one parallel, cached pass
-//!     and writes a BENCH_sweep.json perf artifact.
+//!     and updates the BENCH_sweep.json perf artifact's repro section.
 //!
 //! st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
 //!        [--set axis=v1,v2]... [--no-cache]
 //!     Executes a declarative sweep grid; emits JSONL + CSV results
 //!     (tagged with each point's axis bindings) and baseline comparisons.
+//!
+//! st bench [--smoke] [--instr N] [--bench-json PATH]
+//!     Measures steady-state simulated instructions/sec of the core hot
+//!     loop per workload × experiment, verifies determinism (fresh rerun
+//!     + persistent-cache round-trip) and updates BENCH_sweep.json's
+//!     core_bench section. Exits non-zero if determinism breaks.
+//!
+//! st plot <jsonl> --x <key> --y <metric>
+//!     Renders a cached sweep JSONL as ASCII bar charts (one per
+//!     experiment), e.g. --x axis.ruu_size --y ipc.
 //!
 //! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
@@ -23,24 +33,22 @@
 //! simulation writes through, so repeated invocations and CI runs reuse
 //! points across processes. `--no-cache` opts a run out entirely.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use st_sweep::emit::{
-    comparison_jsonl_tagged, json_escape, json_num, report_jsonl_tagged, reports_to_table_tagged,
-    write_text,
-};
+use st_sweep::artifact::{self, CoreBenchSection, ReproSection};
+use st_sweep::bench::BenchConfig;
+use st_sweep::emit::{binding_tags, reports_to_table_tagged, sweep_jsonl_with_pairing, write_text};
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
-use st_sweep::{
-    all_experiments, axes, AxisValue, PersistentCache, SweepEngine, SweepPoint, SweepSpec,
-};
+use st_sweep::{all_experiments, axes, AxisValue, PersistentCache, SweepEngine, SweepSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("repro") => cmd_repro(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("plot") => cmd_plot(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -62,6 +70,8 @@ USAGE:
     st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH] [--no-cache]
     st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
            [--set axis=v1,v2]... [--no-cache]
+    st bench [--smoke] [--instr N] [--bench-json PATH]
+    st plot <jsonl> --x <key> --y <metric>
     st list [workloads|experiments|figures|axes]
     st cache [clear] [--out DIR]
 
@@ -74,8 +84,12 @@ OPTIONS:
                      overrides the spec — see `st list axes`)
     --out DIR        output directory (default: results/)
     --no-cache       skip the persistent result cache under <out>/.cache
-    --bench-json P   where `repro` writes its perf artifact
+    --bench-json P   where `repro`/`bench` update the perf artifact
                      (default: BENCH_sweep.json)
+    --smoke          `bench`: small budgets for CI (still runs the
+                     determinism probe)
+    --x KEY          `plot`: x-axis record key (e.g. axis.ruu_size)
+    --y KEY          `plot`: y-axis metric (e.g. ipc, speedup, energy_j)
 ";
 
 /// Options shared by `repro`, `run` and `cache`.
@@ -89,6 +103,11 @@ struct CommonOpts {
     sets: Vec<String>,
     /// `--no-cache`: skip the persistent result cache.
     no_cache: bool,
+    /// `--smoke`: only `bench` accepts it.
+    smoke: bool,
+    /// `--x` / `--y`: only `plot` accepts them.
+    x: Option<String>,
+    y: Option<String>,
     /// Non-flag positionals, in order.
     positional: Vec<String>,
 }
@@ -122,6 +141,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         bench_json: None,
         sets: Vec::new(),
         no_cache: false,
+        smoke: false,
+        x: None,
+        y: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -145,6 +167,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
             "--set" => opts.sets.push(value_for("--set")?),
             "--out" => opts.out = Some(PathBuf::from(value_for("--out")?)),
             "--no-cache" => opts.no_cache = true,
+            "--smoke" => opts.smoke = true,
+            "--x" => opts.x = Some(value_for("--x")?),
+            "--y" => opts.y = Some(value_for("--y")?),
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => opts.positional.push(positional.to_string()),
@@ -188,6 +213,10 @@ fn cmd_repro(args: &[String]) -> i32 {
     }
     if !opts.sets.is_empty() {
         eprintln!("st repro: --set only applies to `st run`\n{USAGE}");
+        return 2;
+    }
+    if opts.smoke || opts.x.is_some() || opts.y.is_some() {
+        eprintln!("st repro: --smoke/--x/--y apply to `st bench`/`st plot`\n{USAGE}");
         return 2;
     }
     let bench_json_path =
@@ -241,8 +270,22 @@ fn cmd_repro(args: &[String]) -> i32 {
         100.0 * stats.cache.hit_rate()
     );
 
-    let json = bench_json(&timings, total, &ctx, &engine);
-    match write_text(&bench_json_path, &json) {
+    let stats = engine.stats();
+    let repro = ReproSection {
+        unix_time: unix_now(),
+        threads: engine.threads() as u64,
+        instructions_per_point: ctx.instructions,
+        workloads: ctx.workloads.len() as u64,
+        total_seconds: total,
+        figures: timings.iter().map(|(name, secs)| ((*name).to_string(), *secs)).collect(),
+        simulated_points: stats.simulated,
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_entries: stats.cache.entries,
+        cache_loaded: stats.loaded,
+        cache_hit_rate: stats.cache.hit_rate(),
+    };
+    match artifact::update(&bench_json_path, Some(&repro), None) {
         Ok(()) => println!("  [perf] {}", bench_json_path.display()),
         Err(e) => {
             eprintln!("st repro: could not write {}: {e}", bench_json_path.display());
@@ -252,44 +295,142 @@ fn cmd_repro(args: &[String]) -> i32 {
     0
 }
 
-/// Renders the `BENCH_sweep.json` perf artifact: wall-clock per figure
-/// plus cache effectiveness — the first point of the perf trajectory.
-fn bench_json(
-    timings: &[(&str, f64)],
-    total: f64,
-    ctx: &FigureCtx<'_>,
-    engine: &SweepEngine,
-) -> String {
-    let stats = engine.stats();
-    let unix_time = std::time::SystemTime::now()
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let figures: Vec<String> = timings
-        .iter()
-        .map(|(name, secs)| {
-            format!("{{\"name\":\"{}\",\"seconds\":{}}}", json_escape(name), json_num(*secs))
-        })
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"st_repro\",\n  \"unix_time\": {unix_time},\n  \"threads\": {},\n  \"instructions_per_point\": {},\n  \"workloads\": {},\n  \"total_seconds\": {},\n  \"figures\": [{}],\n  \"simulated_points\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"loaded\": {}, \"hit_rate\": {}}}\n}}\n",
-        engine.threads(),
-        ctx.instructions,
-        ctx.workloads.len(),
-        json_num(total),
-        figures.join(","),
-        stats.simulated,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.entries,
-        stats.loaded,
-        json_num(stats.cache.hit_rate()),
-    )
+        .unwrap_or(0)
 }
 
-/// JSON/CSV tags for one point's axis bindings (`axis.<name>` keys).
-fn binding_tags(point: &SweepPoint) -> Vec<(String, String)> {
-    point.bindings.iter().map(|(name, value)| (format!("axis.{name}"), value.canonical())).collect()
+fn cmd_bench(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st bench: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if let [unexpected, ..] = opts.positional.as_slice() {
+        eprintln!("st bench: unexpected argument `{unexpected}`\n{USAGE}");
+        return 2;
+    }
+    if !opts.sets.is_empty()
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.threads != 0
+        || opts.out.is_some()
+        || opts.no_cache
+    {
+        eprintln!("st bench: only --smoke, --instr and --bench-json apply\n{USAGE}");
+        return 2;
+    }
+    let mut config = if opts.smoke { BenchConfig::smoke() } else { BenchConfig::full() };
+    if let Some(n) = opts.instr {
+        config = config.with_measure(n);
+    }
+    println!(
+        "st bench: {} workloads x {} experiments, {} + {} instructions (warm-up + measured)",
+        config.workloads.len(),
+        config.experiments.len(),
+        config.warmup,
+        config.measure
+    );
+    let result = match st_sweep::bench::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("st bench: {e}");
+            return 1;
+        }
+    };
+    let mut table = st_report::Table::new(vec![
+        "workload".to_string(),
+        "experiment".to_string(),
+        "instr/s".to_string(),
+        "cycles/s".to_string(),
+        "ipc".to_string(),
+        "seconds".to_string(),
+    ])
+    .with_title("steady-state core throughput");
+    for p in &result.points {
+        table.row(vec![
+            p.workload.clone(),
+            p.experiment.clone(),
+            format!("{:.0}", p.instr_per_sec),
+            format!("{:.0}", p.cycles_per_sec),
+            format!("{:.3}", p.ipc),
+            format!("{:.3}", p.seconds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "st bench: geomean {:.0} simulated instructions/s over {} points ({:.2}s measured)",
+        result.geomean_instr_per_sec,
+        result.points.len(),
+        result.total_seconds
+    );
+
+    let bench_json_path =
+        opts.bench_json.clone().unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    let core = CoreBenchSection::from_result(&result, unix_now());
+    match artifact::update(&bench_json_path, None, Some(&core)) {
+        Ok(()) => println!("  [perf] {}", bench_json_path.display()),
+        Err(e) => {
+            eprintln!("st bench: could not write {}: {e}", bench_json_path.display());
+            return 1;
+        }
+    }
+    if let Some(err) = &result.determinism_error {
+        eprintln!("st bench: DETERMINISM FAILURE: {err}");
+        return 1;
+    }
+    println!("st bench: determinism probe passed (fresh rerun + cache round-trip bit-identical)");
+    0
+}
+
+fn cmd_plot(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st plot: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if !opts.sets.is_empty()
+        || opts.threads != 0
+        || opts.instr.is_some()
+        || opts.out.is_some()
+        || opts.no_cache
+        || opts.smoke
+        || opts.bench_json.is_some()
+    {
+        eprintln!("st plot: only --x and --y apply\n{USAGE}");
+        return 2;
+    }
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st plot: expected exactly one JSONL file\n{USAGE}");
+        return 2;
+    };
+    let (Some(x), Some(y)) = (&opts.x, &opts.y) else {
+        eprintln!("st plot: --x and --y are required (e.g. --x axis.ruu_size --y ipc)\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st plot: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match st_sweep::plot::render(&text, x, y) {
+        Ok(charts) => {
+            print!("{charts}");
+            0
+        }
+        Err(e) => {
+            eprintln!("st plot: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -301,7 +442,11 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     };
     if opts.bench_json.is_some() {
-        eprintln!("st run: --bench-json only applies to `st repro`\n{USAGE}");
+        eprintln!("st run: --bench-json only applies to `st repro`/`st bench`\n{USAGE}");
+        return 2;
+    }
+    if opts.smoke || opts.x.is_some() || opts.y.is_some() {
+        eprintln!("st run: --smoke/--x/--y apply to `st bench`/`st plot`\n{USAGE}");
         return 2;
     }
     let [path] = opts.positional.as_slice() else {
@@ -377,47 +522,26 @@ fn cmd_run(args: &[String]) -> i32 {
         100.0 * stats.cache.hit_rate()
     );
 
-    // Emit raw results, tagged with each point's axis bindings.
+    // Emit raw results, tagged with each point's axis bindings; the JSONL
+    // document (reports + baseline comparisons) comes from the shared
+    // builder the golden tests fingerprint.
     let out_dir = opts.out_dir();
     let tags: Vec<Vec<(String, String)>> = points.iter().map(binding_tags).collect();
-    let mut jsonl = String::new();
-    for (report, point_tags) in reports.iter().zip(&tags) {
-        jsonl.push_str(&report_jsonl_tagged(report, point_tags));
-        jsonl.push('\n');
-    }
+    let pairing = st_sweep::emit::baseline_pairing(&points);
+    let jsonl = sweep_jsonl_with_pairing(&points, &reports, &pairing);
     let table = reports_to_table_tagged(&format!("sweep `{}` results", spec.name), &reports, &tags);
     println!("{}", table.render());
 
-    // Pair every variant with its same-configuration baseline.
-    let baseline_index: HashMap<u64, usize> = jobs
-        .iter()
-        .enumerate()
-        .filter(|(_, j)| j.experiment.id == "BASE")
-        .map(|(i, j)| (j.fingerprint(), i))
-        .collect();
+    // Pair every variant with its same-configuration baseline (the same
+    // pairing the JSONL emitter used — one recipe, one source of truth).
     let mut cmp_headers = vec!["workload".to_string(), "experiment".to_string()];
     cmp_headers.extend(bound.iter().map(|n| format!("axis.{n}")));
     cmp_headers.extend(["speedup", "power %", "energy %", "E-D %"].map(String::from));
     let mut cmp_table =
         st_report::Table::new(cmp_headers).with_title(format!("sweep `{}` vs baseline", spec.name));
-    for ((job, point), report) in jobs.iter().zip(&points).zip(&reports) {
-        if job.experiment.id == "BASE" {
-            continue;
-        }
-        let base_fp = job
-            .clone()
-            .with_experiment(st_core::experiments::baseline())
-            .with_estimator(st_sweep::EstimatorChoice::Experiment)
-            .fingerprint();
-        let Some(&bi) = baseline_index.get(&base_fp) else { continue };
+    for ((point, report), baseline) in points.iter().zip(&reports).zip(&pairing) {
+        let Some(bi) = *baseline else { continue };
         let cmp = st_core::compare(&reports[bi], report);
-        jsonl.push_str(&comparison_jsonl_tagged(
-            &report.workload,
-            &report.experiment,
-            &cmp,
-            &binding_tags(point),
-        ));
-        jsonl.push('\n');
         let mut cells = vec![report.workload.clone(), report.experiment.clone()];
         cells.extend(point.bindings.iter().map(|(_, v)| v.canonical()));
         cells.extend([
@@ -462,6 +586,9 @@ fn cmd_cache(args: &[String]) -> i32 {
         || !opts.sets.is_empty()
         || opts.no_cache
         || opts.bench_json.is_some()
+        || opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
     {
         eprintln!("st cache: only --out applies to `st cache`\n{USAGE}");
         return 2;

@@ -176,6 +176,90 @@ pub fn reports_to_table_tagged(
     t
 }
 
+/// JSON/CSV tags for one point's axis bindings (`axis.<name>` keys).
+#[must_use]
+pub fn binding_tags(point: &crate::spec::SweepPoint) -> Vec<(String, String)> {
+    point.bindings.iter().map(|(name, value)| (format!("axis.{name}"), value.canonical())).collect()
+}
+
+/// For each point, the index (within `points`) of its same-configuration
+/// baseline — the `BASE` point sharing every other job input — or `None`
+/// for baseline points themselves and sweeps run without baselines.
+///
+/// The single source of the pairing recipe: both the JSONL emitter below
+/// and `st run`'s printed comparison table consume it, so they cannot
+/// drift.
+#[must_use]
+pub fn baseline_pairing(points: &[crate::spec::SweepPoint]) -> Vec<Option<usize>> {
+    let baseline_index: std::collections::HashMap<u64, usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.job.experiment.id == "BASE")
+        .map(|(i, p)| (p.job.fingerprint(), i))
+        .collect();
+    points
+        .iter()
+        .map(|point| {
+            if point.job.experiment.id == "BASE" {
+                return None;
+            }
+            let base_fp = point
+                .job
+                .clone()
+                .with_experiment(st_core::experiments::baseline())
+                .with_estimator(crate::job::EstimatorChoice::Experiment)
+                .fingerprint();
+            baseline_index.get(&base_fp).copied()
+        })
+        .collect()
+}
+
+/// The full JSONL document of one executed sweep, exactly as `st run`
+/// writes it: one tagged `report` record per point, followed by a tagged
+/// `comparison` record for every non-baseline point whose
+/// same-configuration baseline is part of the sweep.
+///
+/// Shared by the CLI and the golden determinism tests, so the fingerprint
+/// the tests pin covers the byte-for-byte output of a real `st run`.
+#[must_use]
+pub fn sweep_jsonl(
+    points: &[crate::spec::SweepPoint],
+    reports: &[impl std::borrow::Borrow<SimReport>],
+) -> String {
+    sweep_jsonl_with_pairing(points, reports, &baseline_pairing(points))
+}
+
+/// [`sweep_jsonl`] with a precomputed [`baseline_pairing`], for callers
+/// (like `st run`) that also consume the pairing elsewhere and should
+/// not recompute the per-point fingerprints.
+#[must_use]
+pub fn sweep_jsonl_with_pairing(
+    points: &[crate::spec::SweepPoint],
+    reports: &[impl std::borrow::Borrow<SimReport>],
+    pairing: &[Option<usize>],
+) -> String {
+    debug_assert_eq!(points.len(), reports.len(), "one report per point");
+    debug_assert_eq!(points.len(), pairing.len(), "one pairing entry per point");
+    let mut jsonl = String::new();
+    for (report, point) in reports.iter().zip(points) {
+        jsonl.push_str(&report_jsonl_tagged(report.borrow(), &binding_tags(point)));
+        jsonl.push('\n');
+    }
+    for ((point, report), baseline) in points.iter().zip(reports).zip(pairing) {
+        let report = report.borrow();
+        let Some(bi) = *baseline else { continue };
+        let cmp = st_core::compare(reports[bi].borrow(), report);
+        jsonl.push_str(&comparison_jsonl_tagged(
+            &report.workload,
+            &report.experiment,
+            &cmp,
+            &binding_tags(point),
+        ));
+        jsonl.push('\n');
+    }
+    jsonl
+}
+
 /// Writes text to a file, creating parent directories.
 pub fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {

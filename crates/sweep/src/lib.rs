@@ -28,10 +28,16 @@
 //!   per-point axis tagging;
 //! * **[`figures`]** — every paper figure/table expressed as a grid
 //!   submitted to a shared engine;
+//! * **[`bench`](mod@bench)** — steady-state hot-loop microbenchmarks
+//!   (simulated instructions/sec) with a built-in determinism probe;
+//! * **[`plot`]** — ASCII charts over cached sweep JSONL;
+//! * **[`artifact`]** — the `BENCH_sweep.json` writer (repro +
+//!   core_bench sections, updated independently);
 //! * the **`st`** binary — `st repro` regenerates the whole paper in one
 //!   parallel pass, `st run spec.toml` executes ad-hoc sweeps (`--set`
-//!   overrides any axis), `st list` shows what is available and
-//!   `st cache` inspects the persistent cache.
+//!   overrides any axis), `st bench` measures the hot loop and gates
+//!   determinism, `st plot` charts cached JSONL, `st list` shows what is
+//!   available and `st cache` inspects the persistent cache.
 //!
 //! ## Example
 //!
@@ -56,13 +62,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod axes;
+pub mod bench;
 pub mod cache;
 pub mod emit;
 pub mod engine;
 pub mod figures;
 pub mod job;
+pub mod json;
 pub mod persist;
+pub mod plot;
 pub mod spec;
 
 pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};

@@ -22,6 +22,7 @@ use st_pipeline::{MemSummary, PerfStats};
 use st_power::{EnergyReport, UNIT_COUNT};
 
 use crate::emit::json_escape;
+use crate::json::Json;
 
 /// Format version; bump when the encoding changes so stale cache dirs
 /// degrade to misses instead of mis-parses.
@@ -289,225 +290,6 @@ fn unit_array(json: &Json) -> Result<[f64; UNIT_COUNT], String> {
 
 fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing `{key}`"))
-}
-
-// ---------------------------------------------------------------------
-// A minimal recursive JSON reader (the spec parser is flat-only; cache
-// entries need strings with escapes and nothing else the full grammar
-// offers, so ~100 lines beats a vendored dependency).
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    /// Any number, including the non-standard `NaN`/`inf` the exact
-    /// float encoding may produce.
-    Num(f64),
-    /// A string (escapes decoded).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, insertion order preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Reader { chars: text.chars().collect(), pos: 0 };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.chars.len() {
-            return Err(format!("trailing input at {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn as_obj(&self) -> Result<&[(String, Json)], String> {
-        match self {
-            Json::Obj(fields) => Ok(fields),
-            other => Err(format!("expected object, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("expected string, got {other:?}")),
-        }
-    }
-
-    fn as_f64(&self) -> Result<f64, String> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            other => Err(format!("expected number, got {other:?}")),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64, String> {
-        let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
-            Ok(n as u64)
-        } else {
-            Err(format!("expected unsigned integer, got {n}"))
-        }
-    }
-
-    fn as_f64_vec(&self) -> Result<Vec<f64>, String> {
-        match self {
-            Json::Arr(items) => items.iter().map(Json::as_f64).collect(),
-            other => Err(format!("expected array, got {other:?}")),
-        }
-    }
-
-    fn as_u64_vec(&self) -> Result<Vec<u64>, String> {
-        match self {
-            Json::Arr(items) => items.iter().map(Json::as_u64).collect(),
-            other => Err(format!("expected array, got {other:?}")),
-        }
-    }
-}
-
-struct Reader {
-    chars: Vec<char>,
-    pos: usize,
-}
-
-impl Reader {
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while self.peek().is_some_and(char::is_whitespace) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), String> {
-        self.skip_ws();
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{c}` at {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some('{') => self.object(),
-            Some('[') => self.array(),
-            Some('"') => Ok(Json::Str(self.string()?)),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(',') => self.pos += 1,
-                Some('}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(',') => self.pos += 1,
-                Some(']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if self.peek() != Some('"') {
-            return Err(format!("expected string at {}", self.pos));
-        }
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            let Some(c) = self.peek() else { return Err("unterminated string".to_string()) };
-            self.pos += 1;
-            match c {
-                '"' => return Ok(out),
-                '\\' => {
-                    let Some(esc) = self.peek() else {
-                        return Err("dangling escape".to_string());
-                    };
-                    self.pos += 1;
-                    match esc {
-                        '"' => out.push('"'),
-                        '\\' => out.push('\\'),
-                        '/' => out.push('/'),
-                        'n' => out.push('\n'),
-                        'r' => out.push('\r'),
-                        't' => out.push('\t'),
-                        'u' => {
-                            let hex: String = self.chars.iter().skip(self.pos).take(4).collect();
-                            if hex.len() != 4 {
-                                return Err("truncated \\u escape".to_string());
-                            }
-                            self.pos += 4;
-                            let code = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("invalid codepoint {code}"))?,
-                            );
-                        }
-                        other => return Err(format!("unknown escape `\\{other}`")),
-                    }
-                }
-                c => out.push(c),
-            }
-        }
-    }
-
-    /// Numbers, plus the bare `NaN`/`inf`/`-inf` tokens the exact float
-    /// encoding emits for non-finite values.
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || "+-.".contains(c)) {
-            self.pos += 1;
-        }
-        let token: String = self.chars[start..self.pos].iter().collect();
-        token
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("cannot parse number `{token}` at {start}"))
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,195 @@
+//! `st plot` — ASCII charts over cached sweep JSONL.
+//!
+//! `st run` leaves a JSONL document per sweep (`results/<name>.jsonl`)
+//! whose records carry every emitted metric plus the point's axis
+//! bindings as `axis.<name>` members. This module renders those files
+//! as terminal bar charts without re-running anything: pick an x key
+//! (typically a bound axis) and a y metric, and every record holding
+//! both is bucketed by x. Records are grouped into one chart per
+//! experiment — a sweep usually compares a handful of throttling
+//! configurations across the same grid — and multiple records per
+//! (experiment, x) bucket (one per workload) average, with the spread
+//! annotated.
+
+use std::collections::BTreeMap;
+
+use st_report::BarChart;
+
+use crate::json::Json;
+
+/// A y-value bucket for one (experiment, x) cell.
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    sum: f64,
+    min: f64,
+    max: f64,
+    n: u64,
+}
+
+impl Bucket {
+    fn add(&mut self, v: f64) {
+        if self.n == 0 {
+            (self.min, self.max) = (v, v);
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.n += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        self.sum / self.n.max(1) as f64
+    }
+}
+
+/// An x value that sorts numerically when possible, lexically otherwise.
+#[derive(Debug, Clone, PartialEq)]
+struct XKey {
+    num: Option<f64>,
+    text: String,
+}
+
+impl Eq for XKey {}
+
+impl Ord for XKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self.num, other.num) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => self.text.cmp(&other.text),
+        }
+    }
+}
+
+impl PartialOrd for XKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn xkey(v: &Json) -> XKey {
+    match v {
+        Json::Num(n) if n.is_finite() => XKey { num: Some(*n), text: trim_float(*n) },
+        Json::Num(n) => XKey { num: None, text: n.to_string() },
+        Json::Str(s) => XKey { num: None, text: s.clone() },
+        other => XKey { num: None, text: format!("{other:?}") },
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `jsonl` as one bar chart per experiment: y (mean across
+/// records, normally one per workload) against x.
+///
+/// # Errors
+///
+/// Returns an error when no record carries both keys with a usable
+/// (numeric y) value, listing the keys that *are* available to help the
+/// caller pick.
+pub fn render(jsonl: &str, x: &str, y: &str) -> Result<String, String> {
+    // experiment → x → bucket.
+    let mut groups: BTreeMap<String, BTreeMap<XKey, Bucket>> = BTreeMap::new();
+    let mut available: BTreeMap<String, u64> = BTreeMap::new();
+    let mut parsed_records = 0u64;
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = Json::parse(line)
+            .map_err(|e| format!("line {}: invalid JSON record: {e}", lineno + 1))?;
+        parsed_records += 1;
+        if let Json::Obj(fields) = &record {
+            for (k, _) in fields {
+                *available.entry(k.clone()).or_default() += 1;
+            }
+        }
+        let (Some(xv), Some(yv)) = (record.get(x), record.get(y)) else { continue };
+        let Ok(yv) = yv.as_f64() else { continue };
+        if yv.is_nan() {
+            continue; // emitted as null (non-finite metric); nothing to plot
+        }
+        let experiment = record
+            .get("experiment")
+            .and_then(|v| v.as_str().ok().map(str::to_string))
+            .unwrap_or_else(|| "all".to_string());
+        groups.entry(experiment).or_default().entry(xkey(xv)).or_default().add(yv);
+    }
+    if parsed_records == 0 {
+        return Err("no records in input".to_string());
+    }
+    if groups.is_empty() {
+        let keys: Vec<&str> = available.keys().map(String::as_str).collect();
+        return Err(format!(
+            "no record carries both `{x}` and numeric `{y}`; available keys: {}",
+            keys.join(", ")
+        ));
+    }
+    let mut out = String::new();
+    for (experiment, cells) in &groups {
+        let mut chart =
+            BarChart::new(format!("{y} vs {x} — experiment {experiment}"), "").with_width(48);
+        let multi = cells.values().any(|b| b.n > 1);
+        for (xv, bucket) in cells {
+            let label = if multi {
+                format!("{x}={} (n={}, {:.4}..{:.4})", xv.text, bucket.n, bucket.min, bucket.max)
+            } else {
+                format!("{x}={}", xv.text)
+            };
+            chart.bar(label, bucket.mean());
+        }
+        out.push_str(&chart.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"kind\":\"report\",\"workload\":\"go\",\"experiment\":\"C2\",\"ipc\":1.5,\"axis.ruu_size\":32}\n\
+{\"kind\":\"report\",\"workload\":\"gcc\",\"experiment\":\"C2\",\"ipc\":1.1,\"axis.ruu_size\":32}\n\
+{\"kind\":\"report\",\"workload\":\"go\",\"experiment\":\"C2\",\"ipc\":1.9,\"axis.ruu_size\":128}\n\
+{\"kind\":\"report\",\"workload\":\"go\",\"experiment\":\"A7\",\"ipc\":1.2,\"axis.ruu_size\":32}\n\
+{\"kind\":\"comparison\",\"workload\":\"go\",\"experiment\":\"C2\",\"speedup\":0.97,\"axis.ruu_size\":32}\n";
+
+    #[test]
+    fn renders_one_chart_per_experiment_sorted_by_x() {
+        let out = render(SAMPLE, "axis.ruu_size", "ipc").expect("plots");
+        let a7 = out.find("experiment A7").expect("A7 chart");
+        let c2 = out.find("experiment C2").expect("C2 chart");
+        assert!(a7 < c2, "experiments in order");
+        // C2 x=32 averages two workloads: mean 1.3 with spread annotation.
+        assert!(out.contains("n=2"), "{out}");
+        assert!(out.contains("1.30"), "{out}");
+        // Numeric x sorts 32 before 128.
+        let i32_ = out.rfind("axis.ruu_size=32").unwrap();
+        let i128 = out.rfind("axis.ruu_size=128").unwrap();
+        assert!(i32_ < i128 || out[..c2].contains("=32"), "{out}");
+    }
+
+    #[test]
+    fn comparison_metrics_plot_too() {
+        let out = render(SAMPLE, "axis.ruu_size", "speedup").expect("plots");
+        assert!(out.contains("speedup vs axis.ruu_size"));
+        assert!(out.contains("0.97"));
+    }
+
+    #[test]
+    fn helpful_error_for_missing_keys() {
+        let err = render(SAMPLE, "axis.ruu_size", "nope").unwrap_err();
+        assert!(err.contains("available keys"), "{err}");
+        assert!(err.contains("ipc"), "{err}");
+        assert!(render("", "x", "y").unwrap_err().contains("no records"));
+        assert!(render("not json\n", "x", "y").is_err());
+    }
+}

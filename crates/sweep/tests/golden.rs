@@ -1,0 +1,146 @@
+//! Golden determinism tests: the observable output of the simulator is
+//! pinned to fingerprints captured from the pre-refactor (seed) core.
+//!
+//! Two layers:
+//!
+//! 1. **Per-report goldens** — every paper workload runs through the
+//!    baseline, selective-throttling (C2), pipeline-gating (A7) and
+//!    oracle-fetch (OF) experiments at a fixed budget; the bit-exact
+//!    JSON encoding of each [`SimReport`] (the same encoding the
+//!    persistent cache round-trips) is FNV-hashed and compared against
+//!    checked-in constants. Any core change that drifts a single counter
+//!    or energy bit fails loudly here.
+//! 2. **Sweep JSONL golden** — the full `examples/axes-demo.toml` sweep
+//!    renders through the same JSONL builder `st run` uses, and the
+//!    whole document's hash is pinned.
+//!
+//! If a change is *supposed* to alter simulation results, regenerate the
+//! constants with:
+//!
+//! ```text
+//! cargo test -p st-sweep --test golden -- --nocapture print_goldens --ignored
+//! ```
+
+use st_core::SimReport;
+use st_sweep::job::fnv1a64;
+use st_sweep::persist::report_to_json;
+use st_sweep::{JobSpec, SweepEngine, SweepSpec};
+
+/// Instruction budget for the per-report goldens: small enough to keep
+/// the suite fast, large enough to exercise squashes, gating and both
+/// cache levels on every workload.
+const GOLDEN_INSTRUCTIONS: u64 = 20_000;
+
+/// Experiments covered by the per-report goldens.
+const GOLDEN_EXPERIMENTS: [&str; 4] = ["BASE", "C2", "A7", "OF"];
+
+/// `(workload, experiment, fnv1a64(report_to_json(report)))` captured
+/// from the seed implementation (PR 2, commit 1e47c70).
+const GOLDEN_REPORT_HASHES: [(&str, &str, u64); 32] = [
+    ("compress", "BASE", 0xb2af95371e3f1896),
+    ("compress", "C2", 0x38d3c3870289cf12),
+    ("compress", "A7", 0x1c6be76cf7e5c4bb),
+    ("compress", "OF", 0x0ada2b1d99611030),
+    ("gcc", "BASE", 0xc4374409a3c9d247),
+    ("gcc", "C2", 0xc8690a7d0d197622),
+    ("gcc", "A7", 0x925aedbb018589a1),
+    ("gcc", "OF", 0x9a6e2d9088199fe0),
+    ("go", "BASE", 0x7f9139b1847b72d9),
+    ("go", "C2", 0xb3fffbbfb8e8277c),
+    ("go", "A7", 0x882913cc722473a4),
+    ("go", "OF", 0x41dac949d6993add),
+    ("bzip2", "BASE", 0x4b9336318943aec5),
+    ("bzip2", "C2", 0x1b8d79b78b10756f),
+    ("bzip2", "A7", 0x48ad02a4ff07d436),
+    ("bzip2", "OF", 0xc5a213c4e2bf6f79),
+    ("crafty", "BASE", 0x4bffaf5574e0438a),
+    ("crafty", "C2", 0x170984acafb6d7e9),
+    ("crafty", "A7", 0x566eb820cae1c6af),
+    ("crafty", "OF", 0x535dc46edf6b9959),
+    ("gzip", "BASE", 0xf96d33fffaeb39aa),
+    ("gzip", "C2", 0xca0fc1b32ee1829b),
+    ("gzip", "A7", 0x2999d2aca6cc0b4e),
+    ("gzip", "OF", 0xce8259204b04d7d0),
+    ("parser", "BASE", 0xc1744739d7c6c24a),
+    ("parser", "C2", 0xe4431651b6aaf2a1),
+    ("parser", "A7", 0xacaf32779be6f66d),
+    ("parser", "OF", 0x9303ca3fba34368f),
+    ("twolf", "BASE", 0x1a9e1c2c14290c0f),
+    ("twolf", "C2", 0xb0b58f88d2ca7278),
+    ("twolf", "A7", 0xfb2dfc98dfdfb693),
+    ("twolf", "OF", 0x391f87144f5b6da5),
+];
+
+fn golden_report(workload: &str, experiment: &str) -> SimReport {
+    let spec =
+        st_workloads::by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let experiment = st_sweep::experiment_by_id(experiment)
+        .unwrap_or_else(|| panic!("unknown experiment {experiment}"));
+    JobSpec::new(spec, GOLDEN_INSTRUCTIONS).with_experiment(experiment).run()
+}
+
+fn report_hash(r: &SimReport) -> u64 {
+    fnv1a64(report_to_json(r).as_bytes())
+}
+
+#[test]
+fn per_report_goldens_match_seed_implementation() {
+    let mut failures = Vec::new();
+    for (workload, experiment, expected) in GOLDEN_REPORT_HASHES {
+        let got = report_hash(&golden_report(workload, experiment));
+        if got != expected {
+            failures.push(format!(
+                "  ({workload:?}, {experiment:?}, 0x{got:016x}), // was 0x{expected:016x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "SimReport drifted from the seed implementation for {} point(s).\n\
+         If the change is intentional, update GOLDEN_REPORT_HASHES to:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// FNV-1a hash of the byte-for-byte `st run examples/axes-demo.toml`
+/// JSONL document, captured from the seed implementation.
+const GOLDEN_AXES_DEMO_JSONL_HASH: u64 = 0x39e2fd25c2ed3b85;
+
+fn axes_demo_jsonl() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/axes-demo.toml");
+    let text = std::fs::read_to_string(path).expect("read examples/axes-demo.toml");
+    let spec = SweepSpec::parse(&text).expect("parse axes-demo spec");
+    let points = spec.points().expect("resolve points");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let engine = SweepEngine::new(1);
+    let reports = engine.run(&jobs);
+    st_sweep::emit::sweep_jsonl(&points, &reports)
+}
+
+#[test]
+fn axes_demo_jsonl_matches_checked_in_hash() {
+    let jsonl = axes_demo_jsonl();
+    let got = fnv1a64(jsonl.as_bytes());
+    assert_eq!(
+        got, GOLDEN_AXES_DEMO_JSONL_HASH,
+        "examples/axes-demo.toml JSONL drifted (got 0x{got:016x}); if intentional, \
+         update GOLDEN_AXES_DEMO_JSONL_HASH"
+    );
+}
+
+/// Regeneration helper: prints the golden tables in source form.
+#[test]
+#[ignore = "generator: prints constants for the tables above"]
+fn print_goldens() {
+    println!("const GOLDEN_REPORT_HASHES: [(&str, &str, u64); 32] = [");
+    for info in st_workloads::all() {
+        for experiment in GOLDEN_EXPERIMENTS {
+            let hash = report_hash(&golden_report(&info.spec.name, experiment));
+            println!("    (\"{}\", \"{experiment}\", 0x{hash:016x}),", info.spec.name);
+        }
+    }
+    println!("];");
+    let hash = fnv1a64(axes_demo_jsonl().as_bytes());
+    println!("const GOLDEN_AXES_DEMO_JSONL_HASH: u64 = 0x{hash:016x};");
+}
