@@ -23,9 +23,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chart;
+pub mod ranges;
 pub mod stats;
 pub mod table;
 
 pub use chart::BarChart;
+pub use ranges::format_ranges;
 pub use stats::{arith_mean, geo_mean, pct};
 pub use table::{write_csv, Table};

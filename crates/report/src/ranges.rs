@@ -1,0 +1,70 @@
+//! Compact rendering of index sets as ranges.
+//!
+//! Diagnostics that talk about many indices (missing sweep points, seq
+//! gaps in a shard merge) become unreadable as a flat list; collapsing
+//! consecutive runs — `0-3, 7, 9-12` — keeps the message short without
+//! losing precision.
+
+/// Renders a set of indices as comma-separated inclusive ranges.
+///
+/// The input does not need to be sorted or deduplicated; the output is
+/// always sorted ascending with consecutive runs collapsed.
+///
+/// ```
+/// assert_eq!(st_report::format_ranges(&[9, 0, 1, 2, 7, 10, 11]), "0-2, 7, 9-11");
+/// assert_eq!(st_report::format_ranges(&[]), "(none)");
+/// ```
+#[must_use]
+pub fn format_ranges(indices: &[usize]) -> String {
+    if indices.is_empty() {
+        return "(none)".to_string();
+    }
+    let mut sorted: Vec<usize> = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut parts: Vec<String> = Vec::new();
+    let mut start = sorted[0];
+    let mut prev = sorted[0];
+    for &i in &sorted[1..] {
+        if i == prev + 1 {
+            prev = i;
+            continue;
+        }
+        parts.push(render_run(start, prev));
+        start = i;
+        prev = i;
+    }
+    parts.push(render_run(start, prev));
+    parts.join(", ")
+}
+
+fn render_run(start: usize, end: usize) -> String {
+    if start == end {
+        start.to_string()
+    } else {
+        format!("{start}-{end}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_runs_and_keeps_singletons() {
+        assert_eq!(format_ranges(&[0, 1, 2, 3]), "0-3");
+        assert_eq!(format_ranges(&[5]), "5");
+        assert_eq!(format_ranges(&[1, 3, 5]), "1, 3, 5");
+        assert_eq!(format_ranges(&[0, 1, 4, 5, 6, 9]), "0-1, 4-6, 9");
+    }
+
+    #[test]
+    fn tolerates_unsorted_input_with_duplicates() {
+        assert_eq!(format_ranges(&[4, 2, 2, 3, 0]), "0, 2-4");
+    }
+
+    #[test]
+    fn empty_input_has_a_placeholder() {
+        assert_eq!(format_ranges(&[]), "(none)");
+    }
+}

@@ -6,9 +6,27 @@
 //!     and updates the BENCH_sweep.json perf artifact's repro section.
 //!
 //! st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
-//!        [--set axis=v1,v2]... [--no-cache]
+//!        [--set axis=v1,v2]... [--no-cache] [--shard I/N [--steal]]
 //!     Executes a declarative sweep grid; emits JSONL + CSV results
 //!     (tagged with each point's axis bindings) and baseline comparisons.
+//!     With --shard I/N it executes only shard I of a deterministic
+//!     N-way fingerprint partition, streaming a self-describing
+//!     <out>/<name>.shard-I.jsonl for `st merge` (the mode external
+//!     launchers like xargs or SLURM array jobs invoke); --steal adds
+//!     claim-file work stealing over the shared cache directory.
+//!
+//! st shard <spec.toml|spec.json> [-j N] [--instr N] [--out DIR]
+//!          [--set axis=v1,v2]... [--no-cache]
+//!     Spawns N local `st run --shard i/N --steal` worker processes over
+//!     the same spec and waits for them; workers that finish their range
+//!     steal unstarted points from the slowest shard. Workers simulate
+//!     one point at a time (that is what lets them stream records and
+//!     steal at point granularity), so parallelism comes from -j.
+//!
+//! st merge <shard.jsonl>... [--out DIR]
+//!     Unions shard files back into the canonical sweep JSONL + CSV —
+//!     byte-identical to a single-process `st run` — verifying coverage
+//!     (no gaps), bit-identical overlaps and per-record integrity.
 //!
 //! st bench [--smoke] [--instr N] [--bench-json PATH]
 //!     Measures steady-state simulated instructions/sec of the core hot
@@ -23,9 +41,11 @@
 //! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
 //!
-//! st cache [clear] [--out DIR]
+//! st cache [clear|clear-claims] [--out DIR]
 //!     Inspects (or clears) the persistent result cache under
-//!     <out>/.cache.
+//!     <out>/.cache; `clear-claims` drops only the work-stealing claim
+//!     files, un-wedging a crashed `--steal` fleet without losing any
+//!     cached result.
 //! ```
 //!
 //! `repro` and `run` keep a persistent result cache under
@@ -38,15 +58,17 @@ use std::time::Instant;
 
 use st_sweep::artifact::{self, CoreBenchSection, ReproSection};
 use st_sweep::bench::BenchConfig;
-use st_sweep::emit::{binding_tags, reports_to_table_tagged, sweep_jsonl_with_pairing, write_text};
+use st_sweep::emit::{sweep_jsonl_with_pairing, sweep_table, write_text};
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
-use st_sweep::{all_experiments, axes, AxisValue, PersistentCache, SweepEngine, SweepSpec};
+use st_sweep::{all_experiments, axes, shard, AxisValue, PersistentCache, SweepEngine, SweepSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("repro") => cmd_repro(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
@@ -69,21 +91,35 @@ st — parallel, cache-aware sweeps over the Selective Throttling simulator
 USAGE:
     st repro [--threads N] [--instr N] [--out DIR] [--bench-json PATH] [--no-cache]
     st run <spec.toml|spec.json> [--threads N] [--instr N] [--out DIR]
+           [--set axis=v1,v2]... [--no-cache] [--shard I/N [--steal]]
+    st shard <spec.toml|spec.json> [-j N] [--instr N] [--out DIR]
            [--set axis=v1,v2]... [--no-cache]
+    st merge <shard.jsonl>... [--out DIR]
     st bench [--smoke] [--instr N] [--bench-json PATH]
     st plot <jsonl> --x <key> --y <metric>
     st list [workloads|experiments|figures|axes]
-    st cache [clear] [--out DIR]
+    st cache [clear|clear-claims] [--out DIR]
 
 OPTIONS:
     --threads N      worker threads (default: all hardware threads;
-                     results are bit-identical for any value)
+                     results are bit-identical for any value; shard
+                     workers simulate one point at a time, so `shard`
+                     and `run --shard` parallelise via processes instead
+                     and reject this flag)
     --instr N        instructions per simulation point (shorthand for
                      --set instructions=N; default: ST_BENCH_INSTR or 200000)
     --set a=v1,v2    bind sweep axis `a` to the given values (repeatable;
                      overrides the spec — see `st list axes`)
     --out DIR        output directory (default: results/)
     --no-cache       skip the persistent result cache under <out>/.cache
+    --shard I/N      `run`: execute only shard I (0-based) of an N-way
+                     fingerprint partition, streaming <out>/<name>.shard-I.jsonl
+                     for `st merge` instead of the normal outputs
+    --steal          `run --shard`: claim each point via the shared cache
+                     directory and steal unstarted points from slower
+                     shards after finishing the own range
+    -j, --jobs N     `shard`: worker processes to spawn (default: all
+                     hardware threads)
     --bench-json P   where `repro`/`bench` update the perf artifact
                      (default: BENCH_sweep.json)
     --smoke          `bench`: small budgets for CI (still runs the
@@ -103,6 +139,12 @@ struct CommonOpts {
     sets: Vec<String>,
     /// `--no-cache`: skip the persistent result cache.
     no_cache: bool,
+    /// `--shard i/n`: only `run` accepts it.
+    shard: Option<(usize, usize)>,
+    /// `--steal`: only `run --shard` accepts it.
+    steal: bool,
+    /// `-j`/`--jobs`: only `shard` accepts it.
+    jobs: Option<usize>,
     /// `--smoke`: only `bench` accepts it.
     smoke: bool,
     /// `--x` / `--y`: only `plot` accepts them.
@@ -131,6 +173,12 @@ impl CommonOpts {
             SweepEngine::with_persistent_cache(self.threads, self.cache_dir())
         }
     }
+
+    /// Whether any sharding flag (`--shard`, `--steal`, `-j`) was given;
+    /// commands other than `run`/`shard` reject them.
+    fn sharding_flags(&self) -> bool {
+        self.shard.is_some() || self.steal || self.jobs.is_some()
+    }
 }
 
 fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
@@ -141,6 +189,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         bench_json: None,
         sets: Vec::new(),
         no_cache: false,
+        shard: None,
+        steal: false,
+        jobs: None,
         smoke: false,
         x: None,
         y: None,
@@ -167,6 +218,15 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
             "--set" => opts.sets.push(value_for("--set")?),
             "--out" => opts.out = Some(PathBuf::from(value_for("--out")?)),
             "--no-cache" => opts.no_cache = true,
+            "--shard" => {
+                opts.shard = Some(shard::parse_shard_arg(&value_for("--shard")?).map_err(|e| e.0)?);
+            }
+            "--steal" => opts.steal = true,
+            "-j" | "--jobs" => {
+                opts.jobs = Some(
+                    value_for("-j")?.parse().map_err(|_| "-j expects an integer".to_string())?,
+                );
+            }
             "--smoke" => opts.smoke = true,
             "--x" => opts.x = Some(value_for("--x")?),
             "--y" => opts.y = Some(value_for("--y")?),
@@ -215,8 +275,8 @@ fn cmd_repro(args: &[String]) -> i32 {
         eprintln!("st repro: --set only applies to `st run`\n{USAGE}");
         return 2;
     }
-    if opts.smoke || opts.x.is_some() || opts.y.is_some() {
-        eprintln!("st repro: --smoke/--x/--y apply to `st bench`/`st plot`\n{USAGE}");
+    if opts.smoke || opts.x.is_some() || opts.y.is_some() || opts.sharding_flags() {
+        eprintln!("st repro: --smoke/--x/--y/--shard/--steal/-j apply elsewhere\n{USAGE}");
         return 2;
     }
     let bench_json_path =
@@ -320,6 +380,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         || opts.threads != 0
         || opts.out.is_some()
         || opts.no_cache
+        || opts.sharding_flags()
     {
         eprintln!("st bench: only --smoke, --instr and --bench-json apply\n{USAGE}");
         return 2;
@@ -402,6 +463,7 @@ fn cmd_plot(args: &[String]) -> i32 {
         || opts.no_cache
         || opts.smoke
         || opts.bench_json.is_some()
+        || opts.sharding_flags()
     {
         eprintln!("st plot: only --x and --y apply\n{USAGE}");
         return 2;
@@ -433,6 +495,48 @@ fn cmd_plot(args: &[String]) -> i32 {
     }
 }
 
+/// Loads the spec file named by the single positional argument and
+/// applies the `--instr` and `--set` overrides: the shared front half of
+/// `st run` and `st shard` (workers spawned by `st shard` re-derive the
+/// exact same spec from the same arguments). Errors are printed; the
+/// returned code is the process exit code.
+fn load_spec(cmd: &str, opts: &CommonOpts) -> Result<SweepSpec, i32> {
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st {cmd}: expected exactly one spec file\n{USAGE}");
+        return Err(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st {cmd}: cannot read {path}: {e}");
+            return Err(1);
+        }
+    };
+    let fail = |e: &dyn std::fmt::Display| {
+        eprintln!("st {cmd}: {e}");
+        Err(1)
+    };
+    let mut spec = match SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if let Some(n) = opts.instr {
+        if let Err(e) = spec.set_axis("instructions", vec![AxisValue::Int(n)]) {
+            return fail(&e);
+        }
+    }
+    for set in &opts.sets {
+        let (name, values) = match parse_set(set) {
+            Ok(parsed) => parsed,
+            Err(e) => return fail(&e),
+        };
+        if let Err(e) = spec.set_axis(&name, values) {
+            return fail(&e);
+        }
+    }
+    Ok(spec)
+}
+
 fn cmd_run(args: &[String]) -> i32 {
     let opts = match parse_common(args) {
         Ok(o) => o,
@@ -445,47 +549,25 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("st run: --bench-json only applies to `st repro`/`st bench`\n{USAGE}");
         return 2;
     }
-    if opts.smoke || opts.x.is_some() || opts.y.is_some() {
-        eprintln!("st run: --smoke/--x/--y apply to `st bench`/`st plot`\n{USAGE}");
+    if opts.smoke || opts.x.is_some() || opts.y.is_some() || opts.jobs.is_some() {
+        eprintln!("st run: --smoke/--x/--y/-j apply to `st bench`/`st plot`/`st shard`\n{USAGE}");
         return 2;
     }
-    let [path] = opts.positional.as_slice() else {
-        eprintln!("st run: expected exactly one spec file\n{USAGE}");
+    if opts.steal && opts.shard.is_none() {
+        eprintln!("st run: --steal requires --shard I/N\n{USAGE}");
         return 2;
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("st run: cannot read {path}: {e}");
-            return 1;
-        }
-    };
-    let mut spec = match SweepSpec::parse(&text) {
+    }
+    if opts.shard.is_some() && opts.threads != 0 {
+        eprintln!(
+            "st run: --threads has no effect in --shard mode (a shard worker simulates one \
+             point at a time; parallelise by running more shards)\n{USAGE}"
+        );
+        return 2;
+    }
+    let spec = match load_spec("run", &opts) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("st run: {e}");
-            return 1;
-        }
+        Err(code) => return code,
     };
-    if let Some(n) = opts.instr {
-        if let Err(e) = spec.set_axis("instructions", vec![AxisValue::Int(n)]) {
-            eprintln!("st run: {e}");
-            return 1;
-        }
-    }
-    for set in &opts.sets {
-        let (name, values) = match parse_set(set) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                eprintln!("st run: {e}");
-                return 1;
-            }
-        };
-        if let Err(e) = spec.set_axis(&name, values) {
-            eprintln!("st run: {e}");
-            return 1;
-        }
-    }
     let points = match spec.points() {
         Ok(p) => p,
         Err(e) => {
@@ -493,6 +575,9 @@ fn cmd_run(args: &[String]) -> i32 {
             return 1;
         }
     };
+    if let Some((index, of)) = opts.shard {
+        return run_one_shard(&opts, &spec, &points, index, of);
+    }
     let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
     let engine = opts.engine();
     let bound: Vec<String> = points
@@ -526,10 +611,9 @@ fn cmd_run(args: &[String]) -> i32 {
     // document (reports + baseline comparisons) comes from the shared
     // builder the golden tests fingerprint.
     let out_dir = opts.out_dir();
-    let tags: Vec<Vec<(String, String)>> = points.iter().map(binding_tags).collect();
     let pairing = st_sweep::emit::baseline_pairing(&points);
     let jsonl = sweep_jsonl_with_pairing(&points, &reports, &pairing);
-    let table = reports_to_table_tagged(&format!("sweep `{}` results", spec.name), &reports, &tags);
+    let table = sweep_table(&spec.name, &points, &reports);
     println!("{}", table.render());
 
     // Pair every variant with its same-configuration baseline (the same
@@ -571,6 +655,281 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
+/// `st run --shard I/N`: execute one shard of the grid, streaming the
+/// shard document for a later `st merge`.
+fn run_one_shard(
+    opts: &CommonOpts,
+    spec: &SweepSpec,
+    points: &[st_sweep::SweepPoint],
+    index: usize,
+    of: usize,
+) -> i32 {
+    let plan = match shard::ShardPlan::for_points(points, of) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("st run: {e}");
+            return 1;
+        }
+    };
+    let engine = opts.engine();
+    let claims = opts.steal.then(|| shard::ClaimDir::new(&opts.cache_dir(), spec));
+    let path = shard::shard_path(&opts.out_dir(), &spec.name, index);
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("st run: cannot create {}: {e}", parent.display());
+            return 1;
+        }
+    }
+    let mut file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("st run: cannot create {}: {e}", path.display());
+            return 1;
+        }
+    };
+    println!(
+        "st run: shard {index}/{of} of sweep `{}`: {} of {} points in range{}",
+        spec.name,
+        plan.members(index).len(),
+        plan.points(),
+        if opts.steal { ", work stealing on" } else { "" }
+    );
+    let start = Instant::now();
+    let stats =
+        match shard::run_shard(spec, points, &plan, index, &engine, claims.as_ref(), &mut file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("st run: shard {index}/{of} failed: {e}");
+                return 1;
+            }
+        };
+    let engine_stats = engine.stats();
+    println!(
+        "st run: shard {index}/{of} complete in {:.2}s: {} ran, {} stolen, {} ceded \
+         ({} simulated, {} loaded from disk)",
+        start.elapsed().as_secs_f64(),
+        stats.ran,
+        stats.stolen,
+        stats.ceded,
+        engine_stats.simulated,
+        engine_stats.loaded,
+    );
+    println!("  [shard] {}", path.display());
+    0
+}
+
+fn cmd_shard(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st shard: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if opts.bench_json.is_some()
+        || opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.shard.is_some()
+        || opts.steal
+    {
+        eprintln!("st shard: only -j, --instr, --set, --out and --no-cache apply\n{USAGE}");
+        return 2;
+    }
+    if opts.threads != 0 {
+        eprintln!(
+            "st shard: workers simulate one point at a time; use -j N for parallelism\n{USAGE}"
+        );
+        return 2;
+    }
+    let spec = match load_spec("shard", &opts) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let points = match spec.points() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("st shard: {e}");
+            return 1;
+        }
+    };
+    let workers = match opts.jobs {
+        Some(0) | None => {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+        }
+        Some(n) => n,
+    };
+    // Claims coordinate the fleet; clear any stale ones from a previous
+    // (possibly crashed) run of the same spec before spawning.
+    let claims = shard::ClaimDir::new(&opts.cache_dir(), &spec);
+    if let Err(e) = claims.reset() {
+        eprintln!("st shard: cannot reset claims at {}: {e}", claims.dir().display());
+        return 1;
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("st shard: cannot locate own executable: {e}");
+            return 1;
+        }
+    };
+    let out_dir = opts.out_dir();
+    println!(
+        "st shard: sweep `{}`, {} points across {workers} worker processes (work stealing on)",
+        spec.name,
+        points.len(),
+    );
+    let start = Instant::now();
+    let mut children = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg(&opts.positional[0])
+            .arg("--shard")
+            .arg(format!("{index}/{workers}"))
+            .arg("--steal")
+            .arg("--out")
+            .arg(&out_dir);
+        if let Some(n) = opts.instr {
+            cmd.arg("--instr").arg(n.to_string());
+        }
+        for set in &opts.sets {
+            cmd.arg("--set").arg(set);
+        }
+        if opts.no_cache {
+            cmd.arg("--no-cache");
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((index, child)),
+            Err(e) => {
+                eprintln!("st shard: cannot spawn worker {index}: {e}");
+                for (_, mut running) in children {
+                    let _ = running.kill();
+                    let _ = running.wait();
+                }
+                return 1;
+            }
+        }
+    }
+    let mut failed = false;
+    for (index, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("st shard: worker {index} exited with {status}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("st shard: worker {index} did not report a status: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("st shard: at least one worker failed; shard files are incomplete");
+        return 1;
+    }
+    let shard_files: Vec<String> = (0..workers)
+        .map(|i| shard::shard_path(&out_dir, &spec.name, i).display().to_string())
+        .collect();
+    println!(
+        "st shard: {workers} workers complete in {:.2}s; merge with:\n  st merge {}",
+        start.elapsed().as_secs_f64(),
+        shard_files.join(" ")
+    );
+    0
+}
+
+fn cmd_merge(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st merge: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if opts.threads != 0
+        || opts.instr.is_some()
+        || !opts.sets.is_empty()
+        || opts.no_cache
+        || opts.bench_json.is_some()
+        || opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.sharding_flags()
+    {
+        eprintln!("st merge: only --out applies to `st merge`\n{USAGE}");
+        return 2;
+    }
+    if opts.positional.is_empty() {
+        eprintln!("st merge: expected at least one shard file\n{USAGE}");
+        return 2;
+    }
+    let mut documents = Vec::with_capacity(opts.positional.len());
+    for path in &opts.positional {
+        match std::fs::read_to_string(path) {
+            Ok(text) => documents.push(text),
+            Err(e) => {
+                eprintln!("st merge: cannot read {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let merged = match shard::merge(&documents) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("st merge: {e}");
+            return 1;
+        }
+    };
+
+    // Per-shard diagnostics: who contributed what, and how much work
+    // moved across the planned ranges.
+    let mut diag = st_report::Table::new(vec![
+        "shard".to_string(),
+        "file".to_string(),
+        "records".to_string(),
+        "stolen".to_string(),
+        "duplicates".to_string(),
+    ])
+    .with_title(format!("merge `{}` diagnostics", merged.spec.name));
+    for (c, path) in merged.contributions.iter().zip(&opts.positional) {
+        diag.row(vec![
+            c.shard.to_string(),
+            path.clone(),
+            c.records.to_string(),
+            c.stolen.to_string(),
+            c.duplicates.to_string(),
+        ]);
+    }
+    println!("{}", diag.render());
+    println!(
+        "st merge: {} points reassembled from {} shard files \
+         ({} records, {} duplicate, {} stolen)",
+        merged.stats.points,
+        merged.stats.shards,
+        merged.stats.records,
+        merged.stats.duplicates,
+        merged.stats.stolen,
+    );
+
+    let out_dir = opts.out_dir();
+    let jsonl_path = out_dir.join(format!("{}.jsonl", merged.spec.name));
+    let csv_path = out_dir.join(format!("{}.csv", merged.spec.name));
+    if let Err(e) = write_text(&jsonl_path, &merged.jsonl) {
+        eprintln!("st merge: could not write {}: {e}", jsonl_path.display());
+        return 1;
+    }
+    let table = sweep_table(&merged.spec.name, &merged.points, &merged.reports);
+    if let Err(e) = st_report::write_csv(&table, &csv_path) {
+        eprintln!("st merge: could not write {}: {e}", csv_path.display());
+        return 1;
+    }
+    println!("  [jsonl] {}", jsonl_path.display());
+    println!("  [csv]   {}", csv_path.display());
+    0
+}
+
 fn cmd_cache(args: &[String]) -> i32 {
     let opts = match parse_common(args) {
         Ok(o) => o,
@@ -589,6 +948,7 @@ fn cmd_cache(args: &[String]) -> i32 {
         || opts.smoke
         || opts.x.is_some()
         || opts.y.is_some()
+        || opts.sharding_flags()
     {
         eprintln!("st cache: only --out applies to `st cache`\n{USAGE}");
         return 2;
@@ -633,8 +993,28 @@ fn cmd_cache(args: &[String]) -> i32 {
                 1
             }
         },
+        // Claims are pure work-stealing coordination, distinct from the
+        // cached results: clearing them un-wedges a crashed or re-run
+        // `--steal` fleet without throwing away any simulated point.
+        Some("clear-claims") => {
+            let claims_root = opts.cache_dir().join("claims");
+            match std::fs::remove_dir_all(&claims_root) {
+                Ok(()) => {
+                    println!("claims at {}: cleared", claims_root.display());
+                    0
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    println!("claims at {}: nothing to clear", claims_root.display());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("st cache: could not clear {}: {e}", claims_root.display());
+                    1
+                }
+            }
+        }
         Some(other) => {
-            eprintln!("st cache: unknown action `{other}` (try `show` or `clear`)");
+            eprintln!("st cache: unknown action `{other}` (try `show`, `clear` or `clear-claims`)");
             2
         }
     }

@@ -260,6 +260,20 @@ pub fn sweep_jsonl_with_pairing(
     jsonl
 }
 
+/// The result table of one executed sweep, exactly as `st run` prints
+/// and CSVs it: the flat report schema plus one `axis.<name>` column per
+/// bound axis. Shared by `st run` and `st merge` so a merged sweep's CSV
+/// cannot drift from the single-process one.
+#[must_use]
+pub fn sweep_table(
+    name: &str,
+    points: &[crate::spec::SweepPoint],
+    reports: &[impl std::borrow::Borrow<SimReport>],
+) -> Table {
+    let tags: Vec<Vec<(String, String)>> = points.iter().map(binding_tags).collect();
+    reports_to_table_tagged(&format!("sweep `{name}` results"), reports, &tags)
+}
+
 /// Writes text to a file, creating parent directories.
 pub fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {

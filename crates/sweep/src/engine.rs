@@ -201,6 +201,17 @@ impl SweepEngine {
             })
             .collect()
     }
+
+    /// Runs a single job through the cache (and the persistent
+    /// write-through, when configured).
+    ///
+    /// Convenience for streaming callers — the shard worker emits each
+    /// point as it completes rather than batching a whole grid — with
+    /// the same determinism and memoisation as [`SweepEngine::run`].
+    #[must_use]
+    pub fn run_one(&self, job: &JobSpec) -> Arc<SimReport> {
+        self.run(std::slice::from_ref(job)).pop().expect("one report per job")
+    }
 }
 
 #[cfg(test)]

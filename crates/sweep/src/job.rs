@@ -113,6 +113,14 @@ impl JobSpec {
         fnv1a64(canonical.as_bytes())
     }
 
+    /// [`JobSpec::fingerprint`] in its canonical text form: 16 lowercase
+    /// hex digits, zero-padded — the spelling used by persistent-cache
+    /// file names and shard records.
+    #[must_use]
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
     /// Runs the simulation point to completion (synchronously, on the
     /// calling thread).
     #[must_use]

@@ -176,6 +176,16 @@ impl Reader {
         }
     }
 
+    /// Reads one 4-digit hex escape unit at the cursor.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex: String = self.chars.iter().skip(self.pos).take(4).collect();
+        if hex.len() != 4 {
+            return Err("truncated \\u escape".to_string());
+        }
+        self.pos += 4;
+        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
+    }
+
     fn string(&mut self) -> Result<String, String> {
         if self.peek() != Some('"') {
             return Err(format!("expected string at {}", self.pos));
@@ -200,13 +210,26 @@ impl Reader {
                         'r' => out.push('\r'),
                         't' => out.push('\t'),
                         'u' => {
-                            let hex: String = self.chars.iter().skip(self.pos).take(4).collect();
-                            if hex.len() != 4 {
-                                return Err("truncated \\u escape".to_string());
-                            }
-                            self.pos += 4;
-                            let code = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            let code = self.hex4()?;
+                            // Non-BMP characters arrive as a surrogate
+                            // pair of \u escapes; fold them back.
+                            let code = if (0xD800..0xDC00).contains(&code) {
+                                if self.peek() != Some('\\') {
+                                    return Err(format!("unpaired high surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some('u') {
+                                    return Err(format!("unpaired high surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("invalid low surrogate \\u{low:04x}"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
                             out.push(
                                 char::from_u32(code)
                                     .ok_or_else(|| format!("invalid codepoint {code}"))?,
@@ -268,6 +291,15 @@ mod tests {
         assert!(j.get("a").unwrap().as_f64().unwrap().is_nan());
         assert_eq!(j.get("b").unwrap().as_f64().unwrap(), 1.0);
         assert_eq!(j.get("c").unwrap().as_f64().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn decodes_surrogate_pair_escapes() {
+        let j = Json::parse(r#"{"s":"\ud83d\ude00","t":"\u0041"}"#).expect("parse");
+        assert_eq!(j.get("s").unwrap().as_str().unwrap(), "\u{1f600}");
+        assert_eq!(j.get("t").unwrap().as_str().unwrap(), "A");
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(Json::parse(r#""\ud83dA""#).is_err(), "invalid low surrogate");
     }
 
     #[test]

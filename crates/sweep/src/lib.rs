@@ -30,12 +30,19 @@
 //!   submitted to a shared engine;
 //! * **[`bench`](mod@bench)** — steady-state hot-loop microbenchmarks
 //!   (simulated instructions/sec) with a built-in determinism probe;
+//! * **[`shard`](mod@shard)** — sharded multi-process sweeps: a
+//!   deterministic fingerprint-range [`ShardPlan`], a streaming shard
+//!   worker with file-lock work stealing over the shared cache
+//!   directory, and [`shard::merge`], which unions shard documents back
+//!   into output byte-identical to a single-process run;
 //! * **[`plot`]** — ASCII charts over cached sweep JSONL;
 //! * **[`artifact`]** — the `BENCH_sweep.json` writer (repro +
 //!   core_bench sections, updated independently);
 //! * the **`st`** binary — `st repro` regenerates the whole paper in one
 //!   parallel pass, `st run spec.toml` executes ad-hoc sweeps (`--set`
-//!   overrides any axis), `st bench` measures the hot loop and gates
+//!   overrides any axis, `--shard i/n` runs one shard), `st shard`
+//!   spawns a local work-stealing worker fleet, `st merge` reassembles
+//!   shard outputs, `st bench` measures the hot loop and gates
 //!   determinism, `st plot` charts cached JSONL, `st list` shows what is
 //!   available and `st cache` inspects the persistent cache.
 //!
@@ -59,7 +66,7 @@
 //! assert_eq!(engine.stats().simulated, 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod artifact;
@@ -73,6 +80,7 @@ pub mod job;
 pub mod json;
 pub mod persist;
 pub mod plot;
+pub mod shard;
 pub mod spec;
 
 pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};
@@ -80,4 +88,5 @@ pub use cache::{CacheStats, ResultCache};
 pub use engine::{EngineStats, SweepEngine};
 pub use job::{EstimatorChoice, JobSpec};
 pub use persist::PersistentCache;
+pub use shard::{ClaimDir, ShardError, ShardPlan};
 pub use spec::{all_experiments, experiment_by_id, SpecError, SweepPoint, SweepSpec};

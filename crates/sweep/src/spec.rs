@@ -103,6 +103,18 @@ impl SweepSpec {
     /// sections and dotted keys supported) or JSON (flat object,
     /// `axis.<name>` keys), auto-detected from the first non-whitespace
     /// character.
+    ///
+    /// ```
+    /// use st_sweep::SweepSpec;
+    ///
+    /// let spec = SweepSpec::parse(
+    ///     "name = \"demo\"\nworkloads = [\"go\"]\n\n[axis]\nruu_size = [32, 64]\n",
+    /// )?;
+    /// assert_eq!(spec.name, "demo");
+    /// // 2 window sizes x 1 workload x (baseline + C2 default) = 4 points.
+    /// assert_eq!(spec.points()?.len(), 4);
+    /// # Ok::<(), st_sweep::SpecError>(())
+    /// ```
     pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
         let trimmed = text.trim_start();
         let pairs = if trimmed.starts_with('{') {
@@ -152,6 +164,49 @@ impl SweepSpec {
         let values = value.into_axis_vec(axis, key)?;
         self.axes.push(AxisBinding::new(axis.name, values)?);
         Ok(())
+    }
+
+    /// The canonical single-line JSON form of the spec.
+    ///
+    /// [`SweepSpec::parse`] round-trips it to an equivalent spec (same
+    /// name, workloads, experiments, baseline flag and axis values, with
+    /// axes normalised to canonical registry order), so two processes
+    /// handed the same serialised spec expand the exact same point list —
+    /// this is what shard workers embed in their output headers so
+    /// `st merge` can re-derive the grid without the original file.
+    ///
+    /// ```
+    /// use st_sweep::SweepSpec;
+    ///
+    /// let mut spec = SweepSpec::new("window");
+    /// spec.workloads = vec!["go".into()];
+    /// spec.set_axis("ruu_size", vec![st_sweep::AxisValue::Int(32)])?;
+    /// let back = SweepSpec::parse(&spec.to_json())?;
+    /// assert_eq!(back.points()?, spec.points()?);
+    /// # Ok::<(), st_sweep::SpecError>(())
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let quoted = |items: &[String]| {
+            let q: Vec<String> =
+                items.iter().map(|s| format!("\"{}\"", crate::emit::json_escape(s))).collect();
+            format!("[{}]", q.join(","))
+        };
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"workloads\":{},\"experiments\":{},\"baseline\":{}",
+            crate::emit::json_escape(&self.name),
+            quoted(&self.workloads),
+            quoted(&self.experiments),
+            self.baseline
+        );
+        let mut bound = self.axes.clone();
+        bound.sort_by_key(|b| b.axis().index());
+        for binding in &bound {
+            let values: Vec<String> = binding.values.iter().map(AxisValue::canonical).collect();
+            out.push_str(&format!(",\"axis.{}\":[{}]", binding.name, values.join(",")));
+        }
+        out.push('}');
+        out
     }
 
     /// Binds (or rebinds) an axis programmatically — the `--set` CLI
@@ -386,13 +441,71 @@ impl Value {
     }
 }
 
+/// Decodes a double-quoted string token, reversing the escapes
+/// [`crate::emit::json_escape`] (and TOML basic strings) produce:
+/// `\" \\ \/ \n \r \t` and `\uXXXX`.
+fn parse_quoted(token: &str) -> Result<String, SpecError> {
+    let Some(inner) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) else {
+        return err(format!("unterminated string: {token}"));
+    };
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let unit = |chars: &mut std::str::Chars<'_>| -> Result<u32, SpecError> {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if hex.len() != 4 {
+                        return err(format!("truncated \\u escape in {token}"));
+                    }
+                    u32::from_str_radix(&hex, 16)
+                        .map_err(|_| SpecError(format!("bad \\u escape `{hex}`")))
+                };
+                let code = unit(&mut chars)?;
+                // JSON encodes non-BMP characters as a surrogate pair of
+                // \u escapes; fold the pair back into one codepoint.
+                let code = if (0xD800..0xDC00).contains(&code) {
+                    if chars.next() != Some('\\') || chars.next() != Some('u') {
+                        return err(format!("unpaired high surrogate \\u{code:04x} in {token}"));
+                    }
+                    let low = unit(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return err(format!("invalid low surrogate \\u{low:04x} in {token}"));
+                    }
+                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    code
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| SpecError(format!("invalid codepoint {code}")))?,
+                );
+            }
+            other => {
+                return err(match other {
+                    Some(c) => format!("unknown escape `\\{c}` in {token}"),
+                    None => format!("dangling escape in {token}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn parse_scalar(token: &str) -> Result<Value, SpecError> {
     let token = token.trim();
-    if let Some(stripped) = token.strip_prefix('"') {
-        let Some(inner) = stripped.strip_suffix('"') else {
-            return err(format!("unterminated string: {token}"));
-        };
-        return Ok(Value::Str(inner.to_string()));
+    if token.starts_with('"') {
+        return parse_quoted(token).map(Value::Str);
     }
     match token {
         "true" => return Ok(Value::Bool(true)),
@@ -422,14 +535,21 @@ fn parse_value(token: &str) -> Result<Value, SpecError> {
     parse_scalar(token)
 }
 
-/// Splits on `sep` outside of double quotes.
+/// Splits on `sep` outside of double quotes (escape-aware).
 fn split_top_level(text: &str, sep: char) -> Vec<String> {
     let mut parts = Vec::new();
     let mut current = String::new();
     let mut in_str = false;
+    let mut escaped = false;
     for c in text.chars() {
-        if c == '"' {
-            in_str = !in_str;
+        if std::mem::take(&mut escaped) {
+            current.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            _ => {}
         }
         if c == sep && !in_str {
             parts.push(std::mem::take(&mut current));
@@ -443,11 +563,16 @@ fn split_top_level(text: &str, sep: char) -> Vec<String> {
     parts
 }
 
-/// Strips a `#` comment that starts outside of a string.
+/// Strips a `#` comment that starts outside of a string (escape-aware).
 fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
+    let mut escaped = false;
     for (i, c) in line.char_indices() {
+        if std::mem::take(&mut escaped) {
+            continue;
+        }
         match c {
+            '\\' if in_str => escaped = true,
             '"' => in_str = !in_str,
             '#' if !in_str => return &line[..i],
             _ => {}
@@ -510,14 +635,21 @@ fn parse_json_object(text: &str) -> Result<Vec<(String, Value)>, SpecError> {
     Ok(pairs)
 }
 
-/// Splits JSON object members on commas outside strings and brackets.
+/// Splits JSON object members on commas outside strings and brackets
+/// (escape-aware).
 fn split_members(body: &str) -> Vec<String> {
     let mut parts = Vec::new();
     let mut current = String::new();
     let mut in_str = false;
+    let mut escaped = false;
     let mut depth = 0i32;
     for c in body.chars() {
+        if std::mem::take(&mut escaped) {
+            current.push(c);
+            continue;
+        }
         match c {
+            '\\' if in_str => escaped = true,
             '"' => in_str = !in_str,
             '[' if !in_str => depth += 1,
             ']' if !in_str => depth -= 1,
@@ -535,11 +667,17 @@ fn split_members(body: &str) -> Vec<String> {
     parts
 }
 
-/// Splits `"key": value` on the first colon outside strings.
+/// Splits `"key": value` on the first colon outside strings
+/// (escape-aware).
 fn split_colon(member: &str) -> Option<(&str, &str)> {
     let mut in_str = false;
+    let mut escaped = false;
     for (i, c) in member.char_indices() {
+        if std::mem::take(&mut escaped) {
+            continue;
+        }
         match c {
+            '\\' if in_str => escaped = true,
             '"' => in_str = !in_str,
             ':' if !in_str => return Some((&member[..i], &member[i + 1..])),
             _ => {}
@@ -668,6 +806,23 @@ mod tests {
     }
 
     #[test]
+    fn string_escapes_decode_in_both_formats() {
+        let toml = SweepSpec::parse(r#"name = "a \"quoted\" \\ name # not a comment""#)
+            .expect("escaped TOML string parses");
+        assert_eq!(toml.name, "a \"quoted\" \\ name # not a comment");
+        let json = SweepSpec::parse(r#"{ "name": "tab\there, colon: done" }"#)
+            .expect("escaped JSON string parses");
+        assert_eq!(json.name, "tab\there, colon: done");
+        assert!(SweepSpec::parse(r#"name = "dangling\""#).is_err(), "unterminated");
+        assert!(SweepSpec::parse(r#"name = "bad \q escape""#).is_err(), "unknown escape");
+        // Standard JSON encodes non-BMP characters as surrogate pairs.
+        let emoji = SweepSpec::parse(r#"{ "name": "sweep \ud83d\ude00" }"#).expect("pair");
+        assert_eq!(emoji.name, "sweep \u{1f600}");
+        assert!(SweepSpec::parse(r#"{ "name": "lone \ud83d!" }"#).is_err(), "unpaired high");
+        assert!(SweepSpec::parse(r#"{ "name": "bad \ud83dA" }"#).is_err(), "bad low");
+    }
+
+    #[test]
     fn unknown_keys_get_suggestions() {
         let e = SweepSpec::parse("ruu_size = [64]").unwrap_err();
         assert!(e.0.contains("did you mean `axis.ruu_size`?"), "{e}");
@@ -737,6 +892,33 @@ mod tests {
         assert!(spec.baseline);
         assert_eq!(spec.name, "sweep");
         assert_eq!(spec.jobs().expect("grid").len(), 2, "BASE + C2");
+    }
+
+    #[test]
+    fn to_json_round_trips_specs() {
+        // A spec exercising every field shape: explicit lists, a float
+        // axis, an escaped name, baselines off, axes bound out of
+        // registry order.
+        let mut spec = SweepSpec::new("round \"trip\"");
+        spec.workloads = vec!["go".into(), "gcc".into()];
+        spec.experiments = vec!["C2".into(), "OF".into()];
+        spec.baseline = false;
+        spec.set_axis("idle_frac", vec![AxisValue::Float(0.05), AxisValue::Float(0.1)]).unwrap();
+        spec.set_axis("depth", vec![AxisValue::Int(6), AxisValue::Int(14)]).unwrap();
+        let back = SweepSpec::parse(&spec.to_json()).expect("canonical JSON parses");
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.workloads, spec.workloads);
+        assert_eq!(back.experiments, spec.experiments);
+        assert_eq!(back.baseline, spec.baseline);
+        assert_eq!(back.points().expect("back"), spec.points().expect("spec"));
+        // Serialising the round-tripped spec is a fixed point: axes are
+        // already in canonical order.
+        assert_eq!(back.to_json(), spec.to_json());
+
+        // The empty spec round-trips too (defaults everywhere).
+        let empty = SweepSpec::new("empty");
+        let back = SweepSpec::parse(&empty.to_json()).expect("empty spec parses");
+        assert_eq!(back.points().expect("back"), empty.points().expect("empty"));
     }
 
     #[test]

@@ -129,6 +129,30 @@ fn axes_demo_jsonl_matches_checked_in_hash() {
     );
 }
 
+#[test]
+fn two_way_sharded_axes_demo_merges_to_the_same_golden_bytes() {
+    // The sharded path must reproduce the exact same JSONL the golden
+    // above pins: split the demo sweep into 2 shard documents, merge
+    // them, and hash the reassembled output.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/axes-demo.toml");
+    let text = std::fs::read_to_string(path).expect("read examples/axes-demo.toml");
+    let spec = SweepSpec::parse(&text).expect("parse axes-demo spec");
+    let points = spec.points().expect("resolve points");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let reports = SweepEngine::new(1).run(&jobs);
+    let plan = st_sweep::ShardPlan::for_points(&points, 2).expect("plan");
+    let docs: Vec<String> = (0..2)
+        .map(|s| st_sweep::shard::shard_document(&spec, &points, &reports, &plan, s))
+        .collect();
+    let merged = st_sweep::shard::merge(&docs).expect("merge");
+    let got = fnv1a64(merged.jsonl.as_bytes());
+    assert_eq!(
+        got, GOLDEN_AXES_DEMO_JSONL_HASH,
+        "sharded+merged axes-demo JSONL diverged from the single-process golden \
+         (got 0x{got:016x})"
+    );
+}
+
 /// Regeneration helper: prints the golden tables in source form.
 #[test]
 #[ignore = "generator: prints constants for the tables above"]

@@ -1,0 +1,150 @@
+//! Property tests for the sharding contract: for **any** spec and
+//! **any** shard count, the merged union of the shard documents is
+//! byte-identical to the unsharded `st run` output — and `st merge`
+//! rejects anything that is not exactly that union (tampered bytes,
+//! missing points, mixed-up sweeps).
+
+use proptest::prelude::*;
+use st_sweep::shard::{self, ShardPlan};
+use st_sweep::{AxisValue, SweepEngine, SweepSpec};
+
+/// Builds a small but shape-diverse spec from raw draws: 1–2 workloads,
+/// one experiment, an optional swept axis, baselines on or off, and a
+/// tiny instruction budget so a case simulates in milliseconds.
+fn spec_from_draws(
+    workload_mask: u8,
+    experiment_pick: u8,
+    axis_pick: u8,
+    baseline: bool,
+    instr: u64,
+) -> SweepSpec {
+    let mut spec = SweepSpec::new("prop");
+    spec.baseline = baseline;
+    let workloads = ["go", "gcc"];
+    for (i, w) in workloads.iter().enumerate() {
+        if workload_mask & (1 << i) != 0 {
+            spec.workloads.push((*w).to_string());
+        }
+    }
+    if spec.workloads.is_empty() {
+        spec.workloads.push("go".to_string());
+    }
+    spec.experiments = vec![["C2", "A7", "OF"][experiment_pick as usize % 3].to_string()];
+    match axis_pick % 3 {
+        0 => {}
+        1 => spec
+            .set_axis("ruu_size", vec![AxisValue::Int(16), AxisValue::Int(32)])
+            .expect("in-domain"),
+        _ => spec
+            .set_axis("gating_threshold", vec![AxisValue::Int(1), AxisValue::Int(3)])
+            .expect("in-domain"),
+    }
+    spec.set_axis("instructions", vec![AxisValue::Int(instr)]).expect("in-domain");
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merged_union_is_byte_identical_to_the_unsharded_run(
+        workload_mask in 1u8..=3,
+        experiment_pick in 0u8..3,
+        axis_pick in 0u8..3,
+        baseline in any::<bool>(),
+        instr in 200u64..500,
+        n in 1usize..=4,
+    ) {
+        let spec = spec_from_draws(workload_mask, experiment_pick, axis_pick, baseline, instr);
+        let points = spec.points().expect("grid expands");
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let reports = SweepEngine::new(1).run(&jobs);
+        let canonical = st_sweep::emit::sweep_jsonl(&points, &reports);
+
+        let plan = ShardPlan::for_points(&points, n).expect("plan");
+        let docs: Vec<String> =
+            (0..n).map(|s| shard::shard_document(&spec, &points, &reports, &plan, s)).collect();
+        let merged = shard::merge(&docs).expect("merge succeeds");
+        prop_assert_eq!(&merged.jsonl, &canonical, "n = {}", n);
+        prop_assert_eq!(merged.stats.points, points.len());
+        prop_assert_eq!(merged.stats.stolen, 0);
+
+        // Shard documents also merge in any order (the canonical output
+        // is position-keyed, not file-order-keyed).
+        if n > 1 {
+            let reversed: Vec<String> = docs.iter().rev().cloned().collect();
+            let remerged = shard::merge(&reversed).expect("reversed merge succeeds");
+            prop_assert_eq!(&remerged.jsonl, &canonical);
+        }
+
+        // The spec embedded in the headers round-trips to the same grid.
+        let back = SweepSpec::parse(&spec.to_json()).expect("canonical spec parses");
+        prop_assert_eq!(back.points().expect("back grid"), points);
+    }
+
+    #[test]
+    fn merge_rejects_any_single_byte_report_tamper(
+        instr in 200u64..400,
+        victim_byte in 0usize..40,
+    ) {
+        let spec = spec_from_draws(1, 0, 0, true, instr);
+        let points = spec.points().expect("grid expands");
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let reports = SweepEngine::new(1).run(&jobs);
+        let plan = ShardPlan::for_points(&points, 2).expect("plan");
+        let docs: Vec<String> =
+            (0..2).map(|s| shard::shard_document(&spec, &points, &reports, &plan, s)).collect();
+
+        // Flip one digit somewhere in shard 0's first record's report
+        // payload; whatever digit the draw lands on, the merge must
+        // notice the bytes no longer hash to the record's claim.
+        let line = docs[0].lines().nth(1).expect("a point record");
+        let payload_at = line.find(",\"report\":").expect("report member") + ",\"report\":".len();
+        let digit_positions: Vec<usize> = line
+            .char_indices()
+            .skip(payload_at)
+            .filter(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        let at = digit_positions[victim_byte % digit_positions.len()];
+        let old = line.as_bytes()[at];
+        let new = if old == b'9' { b'8' } else { old + 1 };
+        let mut tampered_line = line.to_string();
+        // SAFETY-free byte swap via String ranges: both are ASCII digits.
+        tampered_line.replace_range(at..=at, std::str::from_utf8(&[new]).unwrap());
+        let tampered_doc = docs[0].replace(line, &tampered_line);
+        prop_assert!(tampered_doc != docs[0], "tamper must change the document");
+
+        let e = shard::merge(&[tampered_doc, docs[1].clone()]).expect_err("tamper detected");
+        prop_assert!(
+            e.0.contains("modified after it was written") || e.0.contains("does not parse"),
+            "unexpected error: {}",
+            e.0
+        );
+    }
+}
+
+/// Shard files from different sweeps (or spec revisions) must never
+/// merge, even when grid sizes happen to match.
+#[test]
+fn merge_rejects_mixed_sweeps_and_spec_revisions() {
+    let a = spec_from_draws(1, 0, 0, true, 300);
+    let mut b = a.clone();
+    b.set_axis("instructions", vec![AxisValue::Int(301)]).expect("rebind");
+
+    let run = |spec: &SweepSpec| {
+        let points = spec.points().expect("grid");
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let reports = SweepEngine::new(1).run(&jobs);
+        let plan = ShardPlan::for_points(&points, 2).expect("plan");
+        (0..2)
+            .map(|s| shard::shard_document(spec, &points, &reports, &plan, s))
+            .collect::<Vec<String>>()
+    };
+    let docs_a = run(&a);
+    let docs_b = run(&b);
+    // Same grid size, same shard count — but a different spec, caught by
+    // the header comparison before any record is trusted.
+    let e = shard::merge(&[docs_a[0].clone(), docs_b[1].clone()]).expect_err("mixed sweeps");
+    assert!(e.0.contains("different sweep"), "{e}");
+}
