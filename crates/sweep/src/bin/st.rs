@@ -28,6 +28,23 @@
 //!     byte-identical to a single-process `st run` — verifying coverage
 //!     (no gaps), bit-identical overlaps and per-record integrity.
 //!
+//! st serve [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
+//! st serve stop [--addr HOST:PORT]
+//!     Runs the long-lived sweep service: accepts specs over POST
+//!     /submit, serves every point cache-first from one shared engine
+//!     (results/.cache write-through), and streams back the canonical
+//!     tagged JSONL records. `st serve stop` asks a running service to
+//!     shut down gracefully (SIGINT does the same in-process).
+//!
+//! st submit <spec.toml|spec.json> [--addr HOST:PORT]
+//!     Submits a spec file to a running service and pipes the streamed
+//!     JSONL to stdout — byte-identical to a local `st run` of the same
+//!     spec (diagnostics go to stderr, so redirection stays clean).
+//!
+//! st status [--addr HOST:PORT]
+//!     Prints the service's GET /status counters (cache size, in-flight
+//!     points, served/simulated totals) as one line of JSON.
+//!
 //! st bench [--smoke] [--instr N] [--bench-json PATH]
 //!     Measures steady-state simulated instructions/sec of the core hot
 //!     loop per workload × experiment, verifies determinism (fresh rerun
@@ -60,7 +77,10 @@ use st_sweep::artifact::{self, CoreBenchSection, ReproSection};
 use st_sweep::bench::BenchConfig;
 use st_sweep::emit::{sweep_jsonl_with_pairing, sweep_table, write_text};
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
-use st_sweep::{all_experiments, axes, shard, AxisValue, PersistentCache, SweepEngine, SweepSpec};
+use st_sweep::service::{self, ServiceConfig};
+use st_sweep::{
+    all_experiments, axes, client, shard, AxisValue, PersistentCache, SweepEngine, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +89,9 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
@@ -95,6 +118,9 @@ USAGE:
     st shard <spec.toml|spec.json> [-j N] [--instr N] [--out DIR]
            [--set axis=v1,v2]... [--no-cache]
     st merge <shard.jsonl>... [--out DIR]
+    st serve [stop] [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
+    st submit <spec.toml|spec.json> [--addr HOST:PORT]
+    st status [--addr HOST:PORT]
     st bench [--smoke] [--instr N] [--bench-json PATH]
     st plot <jsonl> --x <key> --y <metric>
     st list [workloads|experiments|figures|axes]
@@ -120,6 +146,9 @@ OPTIONS:
                      shards after finishing the own range
     -j, --jobs N     `shard`: worker processes to spawn (default: all
                      hardware threads)
+    --addr H:P       `serve`/`submit`/`status`: the sweep service address
+                     (default 127.0.0.1:7077; `serve --addr H:0` binds an
+                     ephemeral port and prints it)
     --bench-json P   where `repro`/`bench` update the perf artifact
                      (default: BENCH_sweep.json)
     --smoke          `bench`: small budgets for CI (still runs the
@@ -147,6 +176,8 @@ struct CommonOpts {
     jobs: Option<usize>,
     /// `--smoke`: only `bench` accepts it.
     smoke: bool,
+    /// `--addr`: only `serve`/`submit`/`status` accept it.
+    addr: Option<String>,
     /// `--x` / `--y`: only `plot` accepts them.
     x: Option<String>,
     y: Option<String>,
@@ -179,6 +210,11 @@ impl CommonOpts {
     fn sharding_flags(&self) -> bool {
         self.shard.is_some() || self.steal || self.jobs.is_some()
     }
+
+    /// The sweep-service address (default `127.0.0.1:7077`).
+    fn service_addr(&self) -> String {
+        self.addr.clone().unwrap_or_else(|| "127.0.0.1:7077".to_string())
+    }
 }
 
 fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
@@ -193,6 +229,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         steal: false,
         jobs: None,
         smoke: false,
+        addr: None,
         x: None,
         y: None,
         positional: Vec::new(),
@@ -228,6 +265,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
                 );
             }
             "--smoke" => opts.smoke = true,
+            "--addr" => opts.addr = Some(value_for("--addr")?),
             "--x" => opts.x = Some(value_for("--x")?),
             "--y" => opts.y = Some(value_for("--y")?),
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
@@ -275,8 +313,13 @@ fn cmd_repro(args: &[String]) -> i32 {
         eprintln!("st repro: --set only applies to `st run`\n{USAGE}");
         return 2;
     }
-    if opts.smoke || opts.x.is_some() || opts.y.is_some() || opts.sharding_flags() {
-        eprintln!("st repro: --smoke/--x/--y/--shard/--steal/-j apply elsewhere\n{USAGE}");
+    if opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.sharding_flags()
+        || opts.addr.is_some()
+    {
+        eprintln!("st repro: --smoke/--x/--y/--shard/--steal/-j/--addr apply elsewhere\n{USAGE}");
         return 2;
     }
     let bench_json_path =
@@ -381,6 +424,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         || opts.out.is_some()
         || opts.no_cache
         || opts.sharding_flags()
+        || opts.addr.is_some()
     {
         eprintln!("st bench: only --smoke, --instr and --bench-json apply\n{USAGE}");
         return 2;
@@ -464,6 +508,7 @@ fn cmd_plot(args: &[String]) -> i32 {
         || opts.smoke
         || opts.bench_json.is_some()
         || opts.sharding_flags()
+        || opts.addr.is_some()
     {
         eprintln!("st plot: only --x and --y apply\n{USAGE}");
         return 2;
@@ -549,8 +594,16 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("st run: --bench-json only applies to `st repro`/`st bench`\n{USAGE}");
         return 2;
     }
-    if opts.smoke || opts.x.is_some() || opts.y.is_some() || opts.jobs.is_some() {
-        eprintln!("st run: --smoke/--x/--y/-j apply to `st bench`/`st plot`/`st shard`\n{USAGE}");
+    if opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.jobs.is_some()
+        || opts.addr.is_some()
+    {
+        eprintln!(
+            "st run: --smoke/--x/--y/-j/--addr apply to `st bench`/`st plot`/`st shard`/`st \
+             serve`\n{USAGE}"
+        );
         return 2;
     }
     if opts.steal && opts.shard.is_none() {
@@ -732,6 +785,7 @@ fn cmd_shard(args: &[String]) -> i32 {
         || opts.y.is_some()
         || opts.shard.is_some()
         || opts.steal
+        || opts.addr.is_some()
     {
         eprintln!("st shard: only -j, --instr, --set, --out and --no-cache apply\n{USAGE}");
         return 2;
@@ -857,6 +911,7 @@ fn cmd_merge(args: &[String]) -> i32 {
         || opts.x.is_some()
         || opts.y.is_some()
         || opts.sharding_flags()
+        || opts.addr.is_some()
     {
         eprintln!("st merge: only --out applies to `st merge`\n{USAGE}");
         return 2;
@@ -930,6 +985,188 @@ fn cmd_merge(args: &[String]) -> i32 {
     0
 }
 
+/// Rejects every flag the service subcommands don't take; they share
+/// one narrow surface (`--addr`, plus `--out`/`--threads`/`--no-cache`
+/// for `serve` itself).
+fn reject_non_service_flags(cmd: &str, opts: &CommonOpts, allow_engine_flags: bool) -> bool {
+    let engine_flags_misused =
+        !allow_engine_flags && (opts.out.is_some() || opts.threads != 0 || opts.no_cache);
+    if !opts.sets.is_empty()
+        || opts.instr.is_some()
+        || opts.bench_json.is_some()
+        || opts.smoke
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.sharding_flags()
+        || engine_flags_misused
+    {
+        let allowed =
+            if allow_engine_flags { "--addr, --out, --threads and --no-cache" } else { "--addr" };
+        eprintln!("st {cmd}: only {allowed} apply\n{USAGE}");
+        return true;
+    }
+    false
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st serve: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if reject_non_service_flags("serve", &opts, true) {
+        return 2;
+    }
+    match opts.positional.as_slice() {
+        [] => {}
+        [action] if action == "stop" => {
+            // `stop` is a pure client action: the engine flags configure
+            // a server being started, not one being stopped.
+            if opts.out.is_some() || opts.threads != 0 || opts.no_cache {
+                eprintln!("st serve stop: only --addr applies\n{USAGE}");
+                return 2;
+            }
+            let addr = opts.service_addr();
+            return match client::shutdown(&addr) {
+                Ok(_) => {
+                    println!("st serve: service at {addr} is shutting down");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("st serve: {e}");
+                    1
+                }
+            };
+        }
+        [unexpected, ..] => {
+            eprintln!(
+                "st serve: unexpected argument `{unexpected}` (try `st serve stop`)\n{USAGE}"
+            );
+            return 2;
+        }
+    }
+    let addr = opts.service_addr();
+    let config =
+        ServiceConfig { out: opts.out_dir(), threads: opts.threads, no_cache: opts.no_cache };
+    let server = match service::Server::bind(&addr, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    service::install_sigint_handler();
+    // The listening line goes first and flushed: scripts (and the CI
+    // gate) read the actual port from it when binding port 0.
+    println!("st serve: listening on http://{}", server.local_addr());
+    let engine = server.service().engine();
+    match engine.persistent_cache() {
+        Some(cache) => println!(
+            "st serve: persistent cache at {} ({} entries loaded), {} simulation workers",
+            cache.dir().display(),
+            engine.stats().loaded,
+            server.service().workers()
+        ),
+        None => println!(
+            "st serve: persistent cache disabled (--no-cache), {} simulation workers",
+            server.service().workers()
+        ),
+    }
+    println!("st serve: POST /submit streams sweeps; GET /status reports; POST /shutdown stops");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("st serve: server failed: {e}");
+        return 1;
+    }
+    let stats = server.service().engine().stats();
+    println!(
+        "st serve: shut down gracefully ({} points simulated this run, {} cache entries warm)",
+        stats.simulated, stats.cache.entries
+    );
+    0
+}
+
+fn cmd_submit(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st submit: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if reject_non_service_flags("submit", &opts, false) {
+        return 2;
+    }
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st submit: expected exactly one spec file\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st submit: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    // Parse locally first: a bad spec fails fast with the usual
+    // diagnostics, without a server round-trip (the server re-parses the
+    // same bytes authoritatively).
+    let spec = match SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st submit: {e}");
+            return 1;
+        }
+    };
+    let addr = opts.service_addr();
+    // Records go to stdout (pipe to a file for the canonical JSONL);
+    // everything human-facing goes to stderr.
+    let mut stdout = std::io::stdout().lock();
+    match client::submit(&addr, &text, &mut stdout) {
+        Ok(bytes) => {
+            eprintln!(
+                "st submit: sweep `{}` streamed from {addr} ({bytes} bytes of JSONL)",
+                spec.name
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("st submit: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st status: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if reject_non_service_flags("status", &opts, false) {
+        return 2;
+    }
+    if let [unexpected, ..] = opts.positional.as_slice() {
+        eprintln!("st status: unexpected argument `{unexpected}`\n{USAGE}");
+        return 2;
+    }
+    match client::status(&opts.service_addr()) {
+        Ok(body) => {
+            println!("{body}");
+            0
+        }
+        Err(e) => {
+            eprintln!("st status: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_cache(args: &[String]) -> i32 {
     let opts = match parse_common(args) {
         Ok(o) => o,
@@ -949,6 +1186,7 @@ fn cmd_cache(args: &[String]) -> i32 {
         || opts.x.is_some()
         || opts.y.is_some()
         || opts.sharding_flags()
+        || opts.addr.is_some()
     {
         eprintln!("st cache: only --out applies to `st cache`\n{USAGE}");
         return 2;

@@ -205,9 +205,15 @@ impl SweepEngine {
     /// Runs a single job through the cache (and the persistent
     /// write-through, when configured).
     ///
-    /// Convenience for streaming callers — the shard worker emits each
-    /// point as it completes rather than batching a whole grid — with
-    /// the same determinism and memoisation as [`SweepEngine::run`].
+    /// Convenience for streaming callers — the shard worker and the
+    /// sweep service emit each point as it completes rather than
+    /// batching a whole grid — with the same determinism and
+    /// memoisation as [`SweepEngine::run`]. All engine methods take
+    /// `&self` and are safe to call from many threads at once (the
+    /// service does); note that two *concurrent* `run_one` calls for
+    /// the same not-yet-cached fingerprint will both simulate it —
+    /// callers that overlap requests de-duplicate in flight (see
+    /// [`SweepService::compute`](crate::service::SweepService::compute)).
     #[must_use]
     pub fn run_one(&self, job: &JobSpec) -> Arc<SimReport> {
         self.run(std::slice::from_ref(job)).pop().expect("one report per job")

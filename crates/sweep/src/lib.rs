@@ -35,6 +35,15 @@
 //!   worker with file-lock work stealing over the shared cache
 //!   directory, and [`shard::merge`], which unions shard documents back
 //!   into output byte-identical to a single-process run;
+//! * **[`service`](mod@service)** — the long-running sweep daemon
+//!   behind `st serve`: a hand-rolled HTTP/1.1 + JSONL wire protocol on
+//!   `std::net` that accepts submitted specs, serves every point
+//!   cache-first from one shared engine (with cross-request in-flight
+//!   de-duplication), and streams back records byte-identical to a
+//!   local `st run`;
+//! * **[`client`](mod@client)** — the matching dependency-free client
+//!   (`st submit` / `st status`), which pipes the streamed records to
+//!   any sink;
 //! * **[`plot`]** — ASCII charts over cached sweep JSONL;
 //! * **[`artifact`]** — the `BENCH_sweep.json` writer (repro +
 //!   core_bench sections, updated independently);
@@ -42,9 +51,11 @@
 //!   parallel pass, `st run spec.toml` executes ad-hoc sweeps (`--set`
 //!   overrides any axis, `--shard i/n` runs one shard), `st shard`
 //!   spawns a local work-stealing worker fleet, `st merge` reassembles
-//!   shard outputs, `st bench` measures the hot loop and gates
-//!   determinism, `st plot` charts cached JSONL, `st list` shows what is
-//!   available and `st cache` inspects the persistent cache.
+//!   shard outputs, `st serve` runs the long-lived sweep service,
+//!   `st submit`/`st status` talk to it, `st bench` measures the hot
+//!   loop and gates determinism, `st plot` charts cached JSONL,
+//!   `st list` shows what is available and `st cache` inspects the
+//!   persistent cache.
 //!
 //! ## Example
 //!
@@ -73,6 +84,7 @@ pub mod artifact;
 pub mod axes;
 pub mod bench;
 pub mod cache;
+pub mod client;
 pub mod emit;
 pub mod engine;
 pub mod figures;
@@ -80,13 +92,16 @@ pub mod job;
 pub mod json;
 pub mod persist;
 pub mod plot;
+pub mod service;
 pub mod shard;
 pub mod spec;
 
 pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};
 pub use cache::{CacheStats, ResultCache};
+pub use client::ClientError;
 pub use engine::{EngineStats, SweepEngine};
 pub use job::{EstimatorChoice, JobSpec};
 pub use persist::PersistentCache;
+pub use service::{Server, ServiceConfig, SweepService};
 pub use shard::{ClaimDir, ShardError, ShardPlan};
 pub use spec::{all_experiments, experiment_by_id, SpecError, SweepPoint, SweepSpec};

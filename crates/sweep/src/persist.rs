@@ -94,9 +94,17 @@ impl PersistentCache {
 
     /// Writes one entry through to disk (atomically: temp file + rename,
     /// so concurrent runs never observe a torn entry).
+    ///
+    /// The temp name is unique per *store*, not just per process — a
+    /// process id plus a process-wide counter — so threads of one
+    /// process (the sweep service serves many connections from one
+    /// engine) racing on the same fingerprint each write a private temp
+    /// file and the last rename wins with a complete entry.
     pub fn store(&self, fingerprint: u64, report: &SimReport) -> std::io::Result<()> {
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
-        let tmp = self.dir.join(format!(".tmp-{fingerprint:016x}-{}", std::process::id()));
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".tmp-{fingerprint:016x}-{}-{seq}", std::process::id()));
         std::fs::write(&tmp, report_to_json(report))?;
         std::fs::rename(&tmp, self.entry_path(fingerprint))
     }
@@ -339,6 +347,42 @@ mod tests {
         assert!(report_from_json("not json").is_err());
         assert!(report_from_json("{}").is_err());
         assert!(report_from_json("{\"v\":1}").is_err());
+    }
+
+    #[test]
+    fn concurrent_same_fingerprint_stores_leave_one_valid_entry() {
+        // The sweep service makes write-through concurrent within one
+        // process: N threads racing the same fingerprint must each write
+        // a private temp file, and the surviving entry must be one
+        // complete, bit-exact report — never an interleaving of two.
+        let dir = std::env::temp_dir().join(format!("st-persist-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PersistentCache::new(&dir);
+        let (a, b) = (report(10), report(11));
+        assert_ne!(report_to_json(&a), report_to_json(&b), "distinct payloads");
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let (cache, a, b) = (&cache, &a, &b);
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let r = if (t + i) % 2 == 0 { a } else { b };
+                        cache.store(0xfeed, r).expect("racing store");
+                    }
+                });
+            }
+        });
+        let (entries, summary) = cache.load_with_summary();
+        assert_eq!(summary.entries, 1, "exactly one entry file");
+        assert_eq!(summary.unreadable, 0, "no torn writes");
+        assert!(entries[0].1 == a || entries[0].1 == b, "entry is one complete report");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "every temp file was renamed: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

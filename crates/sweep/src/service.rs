@@ -1,0 +1,884 @@
+//! The long-running sweep service: `st serve`.
+//!
+//! A daemon that wraps one shared [`SweepEngine`] behind a socket so many
+//! clients (and many hosts) can reuse one warm result cache. The wire
+//! protocol is deliberately thin — hand-rolled HTTP/1.1 over
+//! [`std::net::TcpListener`] carrying the same self-describing encodings
+//! the rest of the crate already speaks:
+//!
+//! * **`POST /submit`** — the body is a sweep spec, byte-for-byte what
+//!   `st run` reads from a file (TOML or JSON, parsed by
+//!   [`SweepSpec::parse`]). The server expands the grid through the axis
+//!   registry, answers every point cache-first from the shared engine,
+//!   runs misses through a bounded simulation worker pool via
+//!   [`SweepEngine::run_one`], and streams back newline-delimited JSON:
+//!   exactly the tagged `report` + `comparison` records of
+//!   [`crate::emit::sweep_jsonl`], in canonical grid order, flushed one
+//!   record at a time as points complete. Piping the response to a file
+//!   yields output **byte-identical** to a local `st run` of the same
+//!   spec.
+//! * **`GET /status`** — one JSON object of live counters: cache size,
+//!   in-flight points, active/total submissions, served and simulated
+//!   point counts.
+//! * **`POST /shutdown`** — graceful shutdown: the server stops
+//!   accepting, finishes every active connection, then exits `run`.
+//!   SIGINT (via [`install_sigint_handler`]) takes the same path.
+//!
+//! Malformed requests get structured JSON error replies
+//! (`{"kind":"error","error":"…"}`) with conventional status codes, so a
+//! misbehaving client can never wedge the daemon.
+//!
+//! Two overlapping submissions of the same spec never duplicate work:
+//! in addition to the engine's result cache, the service keeps an
+//! *in-flight* table keyed by job fingerprint — the first worker to
+//! reach a point simulates it, any concurrent requester blocks on the
+//! same slot and shares the finished report.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use st_sweep::service::{Server, ServiceConfig};
+//!
+//! let config = ServiceConfig { no_cache: true, ..ServiceConfig::default() };
+//! let server = Arc::new(Server::bind("127.0.0.1:0", &config)?);
+//! let addr = server.local_addr().to_string();
+//! let handle = {
+//!     let server = Arc::clone(&server);
+//!     std::thread::spawn(move || server.run())
+//! };
+//!
+//! let spec = "name = \"doc\"\nworkloads = [\"go\"]\nbaseline = false\n\
+//!             axis.instructions = [400]\n";
+//! let mut out = Vec::new();
+//! st_sweep::client::submit(&addr, spec, &mut out)?;
+//! assert!(String::from_utf8(out)?.starts_with("{\"kind\":\"report\""));
+//!
+//! st_sweep::client::shutdown(&addr)?;
+//! handle.join().expect("server thread")?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use st_core::SimReport;
+
+use crate::emit;
+use crate::engine::SweepEngine;
+use crate::job::JobSpec;
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// Largest request body the server will read, in bytes. Sweep specs are
+/// a few hundred bytes; anything near this limit is a confused client.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Extra budget for the request line + headers on top of the body cap;
+/// the whole request head is read through a [`Read::take`] of
+/// `MAX_BODY_BYTES + MAX_HEAD_BYTES`, so a client streaming bytes with
+/// no newline cannot grow server memory without bound.
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// How often the accept loop re-checks the shutdown flags while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// How long a connection may sit idle before its reads give up. Bounds
+/// how long a silent client (e.g. a bare `nc` connection) can delay the
+/// graceful-shutdown drain.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-write timeout towards the client. A live consumer drains its
+/// TCP buffer far faster than this; a vanished one stops blocking the
+/// stream (and the shutdown drain) after at most one timeout.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Process-global flag set by the SIGINT handler (see
+/// [`install_sigint_handler`]); every [`Server::run`] loop honours it.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT handler that requests graceful shutdown of every
+/// [`Server`] in this process: the accept loop stops, active connections
+/// finish streaming, then [`Server::run`] returns normally.
+///
+/// The handler only stores to an atomic flag (async-signal-safe). On
+/// non-Unix platforms this is a no-op and Ctrl-C keeps its default
+/// process-killing behaviour.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// How a [`Server`] builds its engine: where the shared persistent cache
+/// lives and how many simulations may run concurrently.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Output directory; the persistent result cache sits under
+    /// `<out>/.cache`, shared with `st run`/`st repro`/`st shard`.
+    pub out: PathBuf,
+    /// Simulation worker-pool size (`0` = auto-detect the hardware
+    /// parallelism). Bounds concurrent simulations *across all
+    /// connections* — the service's backpressure.
+    pub threads: usize,
+    /// Skip the persistent on-disk cache (results are still memoised
+    /// in memory for the server's lifetime).
+    pub no_cache: bool,
+}
+
+impl Default for ServiceConfig {
+    /// The `st serve` defaults: cache under `results/.cache`, worker
+    /// pool sized to the hardware.
+    fn default() -> ServiceConfig {
+        ServiceConfig { out: PathBuf::from("results"), threads: 0, no_cache: false }
+    }
+}
+
+/// One point being simulated right now: concurrent requesters for the
+/// same fingerprint block on `done` until the leader resolves `slot`.
+#[derive(Debug, Default)]
+struct Pending {
+    slot: Mutex<PendingState>,
+    done: Condvar,
+}
+
+/// Lifecycle of an in-flight point. `Abandoned` means the leader
+/// panicked mid-simulation (an engine bug): followers must not wait
+/// forever, and the fingerprint must not stay wedged for the daemon's
+/// lifetime.
+#[derive(Debug, Default)]
+enum PendingState {
+    #[default]
+    Waiting,
+    Done(Arc<SimReport>),
+    Abandoned,
+}
+
+/// A counting semaphore bounding concurrent simulations.
+#[derive(Debug)]
+struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+        SemaphoreGuard { semaphore: self }
+    }
+}
+
+struct SemaphoreGuard<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        *self.semaphore.permits.lock().expect("semaphore poisoned") += 1;
+        self.semaphore.available.notify_one();
+    }
+}
+
+/// The sharable core of the daemon: the engine, the in-flight table and
+/// the serving counters. [`Server`] adds the socket; tests can drive a
+/// `SweepService` directly without any networking.
+#[derive(Debug)]
+pub struct SweepService {
+    engine: SweepEngine,
+    workers: usize,
+    permits: Semaphore,
+    in_flight: Mutex<HashMap<u64, Arc<Pending>>>,
+    submissions: AtomicU64,
+    active_submissions: AtomicU64,
+    points_served: AtomicU64,
+}
+
+impl SweepService {
+    /// A service configured per `config` (engine + persistent cache
+    /// preload happen here, so construction may read `<out>/.cache`).
+    #[must_use]
+    pub fn new(config: &ServiceConfig) -> SweepService {
+        let engine = if config.no_cache {
+            SweepEngine::new(config.threads)
+        } else {
+            SweepEngine::with_persistent_cache(config.threads, config.out.join(".cache"))
+        };
+        let workers = engine.threads();
+        SweepService {
+            engine,
+            workers,
+            permits: Semaphore::new(workers),
+            in_flight: Mutex::new(HashMap::new()),
+            submissions: AtomicU64::new(0),
+            active_submissions: AtomicU64::new(0),
+            points_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine every submission is served from.
+    #[must_use]
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
+    /// Simulation worker-pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Computes one point with cross-request de-duplication: the first
+    /// caller per fingerprint simulates (cache-first, bounded by the
+    /// worker-pool semaphore, persisted write-through); concurrent
+    /// callers for the same fingerprint block and share the result.
+    #[must_use]
+    pub fn compute(&self, job: &JobSpec) -> Arc<SimReport> {
+        let fp = job.fingerprint();
+        let (pending, leader) = {
+            let mut in_flight = self.in_flight.lock().expect("in-flight table poisoned");
+            match in_flight.get(&fp) {
+                Some(pending) => (Arc::clone(pending), false),
+                None => {
+                    let pending = Arc::new(Pending::default());
+                    in_flight.insert(fp, Arc::clone(&pending));
+                    (pending, true)
+                }
+            }
+        };
+        if leader {
+            // The guard runs even if the engine panics: it retires the
+            // in-flight entry and wakes followers (who see `Abandoned`
+            // unless the slot was filled first), so one engine bug can
+            // never wedge a fingerprint for the daemon's lifetime.
+            struct Retire<'a> {
+                service: &'a SweepService,
+                fp: u64,
+                pending: &'a Pending,
+            }
+            impl Drop for Retire<'_> {
+                fn drop(&mut self) {
+                    self.service
+                        .in_flight
+                        .lock()
+                        .expect("in-flight table poisoned")
+                        .remove(&self.fp);
+                    let mut slot = self.pending.slot.lock().expect("pending slot poisoned");
+                    if matches!(*slot, PendingState::Waiting) {
+                        *slot = PendingState::Abandoned;
+                    }
+                    drop(slot);
+                    self.pending.done.notify_all();
+                }
+            }
+            let retire = Retire { service: self, fp, pending: &pending };
+            let report = {
+                let _permit = self.permits.acquire();
+                self.engine.run_one(job)
+            };
+            *pending.slot.lock().expect("pending slot poisoned") =
+                PendingState::Done(Arc::clone(&report));
+            drop(retire);
+            report
+        } else {
+            let mut slot = pending.slot.lock().expect("pending slot poisoned");
+            loop {
+                match &*slot {
+                    PendingState::Done(report) => return Arc::clone(report),
+                    PendingState::Abandoned => {
+                        panic!("in-flight leader for {fp:016x} panicked (simulator bug)")
+                    }
+                    PendingState::Waiting => {
+                        slot = pending.done.wait(slot).expect("pending slot poisoned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one expanded grid into `sink` as the canonical sweep JSONL
+    /// stream: every `report` record in grid order (each flushed as soon
+    /// as its prefix of the grid is complete — points simulate out of
+    /// order across the pool, bytes never do), then every `comparison`
+    /// record. The concatenated bytes equal
+    /// [`crate::emit::sweep_jsonl`] for the same points exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `sink` write error (a disconnected client, typically);
+    /// simulation itself cannot fail.
+    pub fn stream(&self, points: &[SweepPoint], sink: &mut dyn Write) -> std::io::Result<()> {
+        self.stream_with_pairing(points, &emit::baseline_pairing(points), sink)
+    }
+
+    /// [`SweepService::stream`] with a precomputed
+    /// [`crate::emit::baseline_pairing`], for callers (like the HTTP
+    /// handler, which announces the record count in a header) that
+    /// already derived it and should not redo the per-point
+    /// fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepService::stream`].
+    pub fn stream_with_pairing(
+        &self,
+        points: &[SweepPoint],
+        pairing: &[Option<usize>],
+        sink: &mut dyn Write,
+    ) -> std::io::Result<()> {
+        self.submissions.fetch_add(1, Ordering::Relaxed);
+        self.active_submissions.fetch_add(1, Ordering::Relaxed);
+        let result = self.stream_inner(points, pairing, sink);
+        self.active_submissions.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn stream_inner(
+        &self,
+        points: &[SweepPoint],
+        pairing: &[Option<usize>],
+        sink: &mut dyn Write,
+    ) -> std::io::Result<()> {
+        debug_assert_eq!(points.len(), pairing.len(), "one pairing entry per point");
+        let mut reports: Vec<Option<Arc<SimReport>>> = vec![None; points.len()];
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let workers = self.workers.min(points.len()).max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Arc<SimReport>)>();
+
+        // Consumes the receiver so a write error *drops it before the
+        // worker scope joins* — that is what makes the workers' failed
+        // sends (and the `cancelled` flag) actually stop a sweep whose
+        // client disconnected, instead of simulating the rest in vain.
+        let write_in_order = |rx: std::sync::mpsc::Receiver<(usize, Arc<SimReport>)>,
+                              reports: &mut [Option<Arc<SimReport>>],
+                              sink: &mut dyn Write|
+         -> std::io::Result<()> {
+            let mut emitted = 0;
+            while let Ok((i, report)) = rx.recv() {
+                reports[i] = Some(report);
+                while emitted < points.len() && reports[emitted].is_some() {
+                    let report = reports[emitted].as_ref().expect("slot just checked");
+                    let line =
+                        emit::report_jsonl_tagged(report, &emit::binding_tags(&points[emitted]));
+                    sink.write_all(line.as_bytes())?;
+                    sink.write_all(b"\n")?;
+                    sink.flush()?;
+                    self.points_served.fetch_add(1, Ordering::Relaxed);
+                    emitted += 1;
+                }
+            }
+            Ok(())
+        };
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, cancelled) = (&next, &cancelled);
+                scope.spawn(move || loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(i) else { break };
+                    let report = self.compute(&point.job);
+                    if tx.send((i, report)).is_err() {
+                        // Receiver dropped: the client disconnected.
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let result = write_in_order(rx, &mut reports, sink);
+            if result.is_err() {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            result
+        })?;
+
+        // Comparisons need the whole grid (a variant's baseline may sit
+        // anywhere), so they follow the report records — the same shape
+        // `emit::sweep_jsonl` writes.
+        for ((point, report), baseline) in points.iter().zip(&reports).zip(pairing) {
+            let Some(bi) = *baseline else { continue };
+            let report = report.as_ref().expect("every slot filled");
+            let base = reports[bi].as_ref().expect("every slot filled");
+            let cmp = st_core::compare(base, report);
+            let line = emit::comparison_jsonl_tagged(
+                &report.workload,
+                &report.experiment,
+                &cmp,
+                &emit::binding_tags(point),
+            );
+            sink.write_all(line.as_bytes())?;
+            sink.write_all(b"\n")?;
+            sink.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The `GET /status` payload: one line of JSON over the live
+    /// counters (engine cache + service totals).
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        let stats = self.engine.stats();
+        let in_flight = self.in_flight.lock().expect("in-flight table poisoned").len();
+        let cache_dir = match self.engine.persistent_cache() {
+            Some(cache) => {
+                format!("\"{}\"", emit::json_escape(&cache.dir().display().to_string()))
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{}}}",
+            self.workers,
+            self.submissions.load(Ordering::Relaxed),
+            self.active_submissions.load(Ordering::Relaxed),
+            in_flight,
+            self.points_served.load(Ordering::Relaxed),
+            stats.simulated,
+            stats.cache.entries,
+            stats.loaded,
+            stats.cache.hits,
+            stats.cache.misses,
+            cache_dir,
+        )
+    }
+}
+
+/// The daemon: a bound listener plus a shared [`SweepService`].
+///
+/// [`Server::bind`] binds (port `0` picks an ephemeral port — see
+/// [`Server::local_addr`]); [`Server::run`] accepts until `POST
+/// /shutdown` or SIGINT, then drains active connections and returns.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<SweepService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7077`) and builds the service —
+    /// including the persistent-cache preload, so a warm cache is ready
+    /// before the first connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, bad address).
+    pub fn bind(addr: &str, config: &ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // The accept loop polls so it can observe shutdown requests and
+        // SIGINT between (non-blocking) accepts.
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            addr,
+            service: Arc::new(SweepService::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually bound address (resolves port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service, for in-process inspection in tests.
+    #[must_use]
+    pub fn service(&self) -> &SweepService {
+        &self.service
+    }
+
+    /// Accepts and serves connections until a shutdown request (`POST
+    /// /shutdown`) or SIGINT arrives, then waits for every active
+    /// connection to finish before returning — no stream is ever cut
+    /// mid-record.
+    ///
+    /// # Errors
+    ///
+    /// The `Result` is reserved for fatal listener failures; today every
+    /// per-connection I/O error is answered with a structured reply (or
+    /// dropped if the peer is gone) and every transient accept error
+    /// (fd exhaustion, aborted handshakes) is logged and retried, so
+    /// none of them stop the server.
+    pub fn run(&self) -> std::io::Result<()> {
+        let active = Arc::new((Mutex::new(0usize), Condvar::new()));
+        while !self.shutdown.load(Ordering::SeqCst) && !SIGINT_RECEIVED.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The listener is non-blocking for the poll loop;
+                    // connection I/O itself must block normally — but
+                    // with timeouts, so no silent or vanished client
+                    // can hold the graceful-shutdown drain hostage. A
+                    // socket that rejects its options is dropped, never
+                    // fatal.
+                    if stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_read_timeout(Some(READ_TIMEOUT)))
+                        .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let service = Arc::clone(&self.service);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    // Decrement through a drop guard so a panicking
+                    // handler (a simulator bug surfacing mid-stream)
+                    // still releases its slot and cannot hang the
+                    // shutdown drain below.
+                    struct ConnectionSlot(Arc<(Mutex<usize>, Condvar)>);
+                    impl Drop for ConnectionSlot {
+                        fn drop(&mut self) {
+                            let (count, drained) = &*self.0;
+                            *count.lock().expect("active count poisoned") -= 1;
+                            drained.notify_all();
+                        }
+                    }
+                    *active.0.lock().expect("active count poisoned") += 1;
+                    let slot = ConnectionSlot(Arc::clone(&active));
+                    std::thread::spawn(move || {
+                        let _slot = slot;
+                        handle_connection(stream, &service, &shutdown);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Transient accept failures (EMFILE under connection
+                    // pressure, ECONNABORTED, …) must not kill a daemon
+                    // with live streams; log, back off, keep serving.
+                    eprintln!("sweep service: accept failed (retrying): {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        let (count, drained) = &*active;
+        let mut n = count.lock().expect("active count poisoned");
+        while *n > 0 {
+            n = drained.wait(n).expect("active count poisoned");
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The wire protocol: minimal HTTP/1.1 + newline-delimited JSON.
+// ---------------------------------------------------------------------
+
+/// One parsed request: method, path and the (Content-Length-delimited)
+/// body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request. Errors are `(status code, message)`
+/// pairs ready for [`respond_error`].
+fn read_request(stream: &TcpStream) -> Result<Request, (u16, String)> {
+    let bad = |msg: &str| (400, msg.to_string());
+    // The whole request — head *and* body — reads through a hard byte
+    // cap, so `read_line` can never grow unboundedly on newline-free
+    // garbage; an over-long head simply hits apparent EOF and fails.
+    let limited = stream
+        .try_clone()
+        .map_err(|e| (500, format!("cannot clone connection: {e}")))?
+        .take((MAX_BODY_BYTES + MAX_HEAD_BYTES) as u64);
+    let mut reader = BufReader::new(limited);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| bad(&format!("cannot read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(bad("malformed request line (expected `METHOD /path HTTP/1.1`)"));
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|e| bad(&format!("cannot read headers: {e}")))?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(&format!("unparseable Content-Length `{}`", value.trim())))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err((
+            413,
+            format!("request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| bad(&format!("truncated request body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not valid UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase for the handful of status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete (Content-Length-delimited) JSON reply.
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )
+}
+
+/// Writes a structured error reply: `{"kind":"error","error":"…"}`.
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    let body = format!("{{\"kind\":\"error\",\"error\":\"{}\"}}", emit::json_escape(message));
+    respond_json(stream, status, &body)
+}
+
+/// Serves one connection: parse, dispatch, reply. All errors are
+/// answered on the wire; a peer that vanished mid-reply is simply
+/// dropped.
+fn handle_connection(mut stream: TcpStream, service: &SweepService, shutdown: &AtomicBool) {
+    let request = match read_request(&stream) {
+        Ok(r) => r,
+        Err((status, message)) => {
+            let _ = respond_error(&mut stream, status, &message);
+            return;
+        }
+    };
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/submit") => handle_submit(&mut stream, service, &request.body),
+        ("GET", "/status") => respond_json(&mut stream, 200, &service.status_json()),
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            respond_json(&mut stream, 200, "{\"kind\":\"ok\",\"shutting_down\":true}")
+        }
+        (method, path @ ("/submit" | "/status" | "/shutdown")) => {
+            respond_error(&mut stream, 405, &format!("method {method} not allowed for {path}"))
+        }
+        (_, path) => respond_error(
+            &mut stream,
+            404,
+            &format!("no endpoint {path} (try POST /submit, GET /status, POST /shutdown)"),
+        ),
+    };
+    // The peer hanging up mid-stream is its own problem, not ours.
+    let _ = outcome;
+}
+
+/// `POST /submit`: parse the spec, expand the grid, stream the sweep.
+fn handle_submit(
+    stream: &mut TcpStream,
+    service: &SweepService,
+    body: &str,
+) -> std::io::Result<()> {
+    let spec = match SweepSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let points = match spec.points() {
+        Ok(points) => points,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    // The exact record count (reports + comparisons) is known before
+    // anything simulates, so it travels in a header and the client can
+    // detect a truncated stream — the body itself must stay pure JSONL
+    // to keep the byte-identity contract. The pairing is computed once
+    // and shared with the streamer.
+    let pairing = emit::baseline_pairing(&points);
+    let comparisons = pairing.iter().flatten().count();
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nX-Sweep-Name: {}\r\nX-Sweep-Points: {}\r\nX-Sweep-Records: {}\r\nConnection: close\r\n\r\n",
+        spec.name.replace(['\r', '\n'], " "),
+        points.len(),
+        points.len() + comparisons,
+    )?;
+    let mut sink = BufWriter::new(stream);
+    service.stream_with_pairing(&points, &pairing, &mut sink)?;
+    sink.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    /// 2 window sizes x 1 workload x (baseline + C2) = 4 points.
+    const TINY_SPEC: &str = "name = \"svc-test\"\nworkloads = [\"go\"]\n\
+                             [axis]\nruu_size = [16, 32]\ninstructions = 400\n";
+
+    fn start(
+        config: &ServiceConfig,
+    ) -> (Arc<Server>, String, std::thread::JoinHandle<std::io::Result<()>>) {
+        let server = Arc::new(Server::bind("127.0.0.1:0", config).expect("bind"));
+        let addr = server.local_addr().to_string();
+        let handle = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        (server, addr, handle)
+    }
+
+    fn canonical_jsonl(spec_text: &str) -> String {
+        let spec = SweepSpec::parse(spec_text).expect("spec");
+        let points = spec.points().expect("points");
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let reports = SweepEngine::new(1).run(&jobs);
+        emit::sweep_jsonl(&points, &reports)
+    }
+
+    #[test]
+    fn submit_streams_bytes_identical_to_a_local_run() {
+        let config = ServiceConfig { no_cache: true, threads: 2, ..ServiceConfig::default() };
+        let (server, addr, handle) = start(&config);
+
+        let mut first = Vec::new();
+        client::submit(&addr, TINY_SPEC, &mut first).expect("first submit");
+        let first = String::from_utf8(first).expect("utf8");
+        assert_eq!(first, canonical_jsonl(TINY_SPEC), "wire bytes == local st run bytes");
+
+        // A second submission is served entirely from the warm cache.
+        let mut second = Vec::new();
+        client::submit(&addr, TINY_SPEC, &mut second).expect("second submit");
+        assert_eq!(String::from_utf8(second).expect("utf8"), first);
+        let stats = server.service().engine().stats();
+        assert_eq!(stats.simulated, 4, "4 distinct points simulated once");
+        assert_eq!(stats.cache.hits, 4, "second submission hit 4/4");
+
+        // Status counters reflect both submissions.
+        let status = client::status(&addr).expect("status");
+        assert!(status.contains("\"kind\":\"status\""), "{status}");
+        assert!(status.contains("\"submissions\":2"), "{status}");
+        assert!(status.contains("\"points_served\":8"), "{status}");
+        assert!(status.contains("\"points_simulated\":4"), "{status}");
+        assert!(status.contains("\"in_flight_points\":0"), "{status}");
+
+        let reply = client::shutdown(&addr).expect("shutdown");
+        assert!(reply.contains("shutting_down"), "{reply}");
+        handle.join().expect("server thread").expect("clean shutdown");
+    }
+
+    #[test]
+    fn overlapping_submissions_of_one_spec_share_work() {
+        let config = ServiceConfig { no_cache: true, threads: 2, ..ServiceConfig::default() };
+        let (server, addr, handle) = start(&config);
+        let canonical = canonical_jsonl(TINY_SPEC);
+
+        // Two clients race the same spec; the in-flight table must keep
+        // the engine from simulating any point twice.
+        let streams: Vec<String> = std::thread::scope(|scope| {
+            let submit = |_: usize| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    client::submit(&addr, TINY_SPEC, &mut out).expect("submit");
+                    String::from_utf8(out).expect("utf8")
+                })
+            };
+            let handles: Vec<_> = (0..2).map(submit).collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        for out in &streams {
+            assert_eq!(*out, canonical, "every client gets the canonical bytes");
+        }
+        let stats = server.service().engine().stats();
+        assert_eq!(stats.simulated, 4, "overlap did not duplicate any simulation");
+
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
+    }
+
+    #[test]
+    fn write_through_persists_under_the_out_dir() {
+        let out = std::env::temp_dir().join(format!("st-service-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let config = ServiceConfig { out: out.clone(), threads: 2, no_cache: false };
+        let (_, addr, handle) = start(&config);
+        let mut buf = Vec::new();
+        client::submit(&addr, TINY_SPEC, &mut buf).expect("submit");
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
+
+        // Every simulated point was written through; a fresh engine (a
+        // restarted server, conceptually) preloads all four.
+        let reloaded = SweepEngine::with_persistent_cache(1, out.join(".cache"));
+        assert_eq!(reloaded.stats().loaded, 4, "all points persisted");
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let config = ServiceConfig { no_cache: true, ..ServiceConfig::default() };
+        let (_, addr, handle) = start(&config);
+
+        let e = client::submit(&addr, "bogus = 1", &mut Vec::new()).expect_err("bad spec");
+        assert!(e.0.contains("unknown key"), "{e}");
+        assert!(e.0.contains("400"), "{e}");
+        let e = client::submit(&addr, "workloads = [\"nope\"]", &mut Vec::new())
+            .expect_err("unknown workload");
+        assert!(e.0.contains("unknown workload"), "{e}");
+
+        // Unknown endpoints and wrong methods get structured replies too.
+        let raw = |request: &str| -> String {
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            stream.write_all(request.as_bytes()).expect("write");
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).expect("read");
+            reply
+        };
+        let reply = raw("GET /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        assert!(reply.contains("\"kind\":\"error\""), "{reply}");
+        let reply = raw("GET /submit HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
+        let reply = raw("garbage\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = raw("POST /submit HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
+    }
+}
