@@ -1,12 +1,14 @@
 //! The `BENCH_sweep.json` perf artifact.
 //!
 //! One JSON file tracks the repository's performance trajectory across
-//! two instruments: the **repro** section (`st repro` wall-clock per
-//! figure plus cache effectiveness — the end-to-end number) and the
+//! three instruments: the **repro** section (`st repro` wall-clock per
+//! figure plus cache effectiveness — the end-to-end number), the
 //! **core_bench** section (`st bench` steady-state simulated
-//! instructions/sec — the hot-loop number). Either tool updates its own
-//! section *in place* and preserves the other's, so CI can run them in
-//! any order and upload one artifact.
+//! instructions/sec — the hot-loop number) and the **store_bench**
+//! section (`st bench --store` bulk-append and cold-load timings of the
+//! segment-log result store). Each tool updates its own section *in
+//! place* and preserves the others', so CI can run them in any order
+//! and upload one artifact.
 //!
 //! The top-level layout keeps the original `st repro` schema (`bench`,
 //! `total_seconds`, `figures`, …) so existing consumers keep parsing,
@@ -14,7 +16,7 @@
 
 use std::path::Path;
 
-use crate::bench::{BenchPoint, BenchResult};
+use crate::bench::{BenchPoint, BenchResult, StoreBenchResult};
 use crate::emit::{json_escape, json_num, write_text};
 use crate::json::Json;
 
@@ -74,8 +76,43 @@ impl CoreBenchSection {
     }
 }
 
+/// The `st bench --store` section: segment-log result-store timings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreBenchSection {
+    /// Unix time the bench finished.
+    pub unix_time: u64,
+    /// Synthetic entries written and reloaded.
+    pub entries: u64,
+    /// On-disk bytes after the bulk append.
+    pub file_bytes: u64,
+    /// Segment files after the bulk append.
+    pub segments: u64,
+    /// Seconds to append every entry (write-through path).
+    pub write_seconds: f64,
+    /// Seconds for the cold reopen (one sequential pass).
+    pub load_seconds: f64,
+    /// Entries decoded per second during the cold load.
+    pub load_entries_per_sec: f64,
+}
+
+impl StoreBenchSection {
+    /// Builds the section from a store-bench run.
+    #[must_use]
+    pub fn from_result(result: &StoreBenchResult, unix_time: u64) -> StoreBenchSection {
+        StoreBenchSection {
+            unix_time,
+            entries: result.entries,
+            file_bytes: result.file_bytes,
+            segments: result.segments,
+            write_seconds: result.write_seconds,
+            load_seconds: result.load_seconds,
+            load_entries_per_sec: result.entries as f64 / result.load_seconds.max(1e-9),
+        }
+    }
+}
+
 /// Updates `path`, replacing the given section(s) and preserving the
-/// other from the existing file (if readable).
+/// others from the existing file (if readable).
 ///
 /// # Errors
 ///
@@ -84,6 +121,7 @@ pub fn update(
     path: &Path,
     repro: Option<&ReproSection>,
     core: Option<&CoreBenchSection>,
+    store: Option<&StoreBenchSection>,
 ) -> std::io::Result<()> {
     let existing = std::fs::read_to_string(path).ok().and_then(|t| Json::parse(&t).ok());
     let preserved_repro;
@@ -102,10 +140,22 @@ pub fn update(
             preserved_core.as_ref()
         }
     };
-    write_text(path, &render(repro, core))
+    let preserved_store;
+    let store = match store {
+        Some(s) => Some(s),
+        None => {
+            preserved_store = existing.as_ref().and_then(parse_store);
+            preserved_store.as_ref()
+        }
+    };
+    write_text(path, &render(repro, core, store))
 }
 
-fn render(repro: Option<&ReproSection>, core: Option<&CoreBenchSection>) -> String {
+fn render(
+    repro: Option<&ReproSection>,
+    core: Option<&CoreBenchSection>,
+    store: Option<&StoreBenchSection>,
+) -> String {
     let mut out = String::from("{\n  \"bench\": \"st_repro\"");
     if let Some(r) = repro {
         let figures: Vec<String> = r
@@ -154,6 +204,18 @@ fn render(repro: Option<&ReproSection>, core: Option<&CoreBenchSection>) -> Stri
             json_num(c.geomean_instr_per_sec),
             c.deterministic,
             points.join(","),
+        ));
+    }
+    if let Some(s) = store {
+        out.push_str(&format!(
+            ",\n  \"store_bench\": {{\n    \"unix_time\": {},\n    \"entries\": {},\n    \"file_bytes\": {},\n    \"segments\": {},\n    \"write_seconds\": {},\n    \"load_seconds\": {},\n    \"load_entries_per_sec\": {}\n  }}",
+            s.unix_time,
+            s.entries,
+            s.file_bytes,
+            s.segments,
+            json_num(s.write_seconds),
+            json_num(s.load_seconds),
+            json_num(s.load_entries_per_sec),
         ));
     }
     out.push_str("\n}\n");
@@ -216,6 +278,19 @@ fn parse_core(json: &Json) -> Option<CoreBenchSection> {
     })
 }
 
+fn parse_store(json: &Json) -> Option<StoreBenchSection> {
+    let s = json.get("store_bench")?;
+    Some(StoreBenchSection {
+        unix_time: s.get("unix_time")?.as_u64().ok()?,
+        entries: s.get("entries")?.as_u64().ok()?,
+        file_bytes: s.get("file_bytes")?.as_u64().ok()?,
+        segments: s.get("segments")?.as_u64().ok()?,
+        write_seconds: s.get("write_seconds")?.as_f64().ok()?,
+        load_seconds: s.get("load_seconds")?.as_f64().ok()?,
+        load_entries_per_sec: s.get("load_entries_per_sec")?.as_f64().ok()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +329,18 @@ mod tests {
         }
     }
 
+    fn store() -> StoreBenchSection {
+        StoreBenchSection {
+            unix_time: 44,
+            entries: 20_000,
+            file_bytes: 9_000_000,
+            segments: 2,
+            write_seconds: 0.8,
+            load_seconds: 0.2,
+            load_entries_per_sec: 100_000.0,
+        }
+    }
+
     #[test]
     fn sections_survive_alternating_updates() {
         let dir = std::env::temp_dir().join(format!("st-artifact-test-{}", std::process::id()));
@@ -261,23 +348,28 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_sweep.json");
 
-        // Repro first, then bench: both sections present afterwards.
-        update(&path, Some(&repro()), None).expect("write repro");
-        update(&path, None, Some(&core())).expect("write core");
+        // Repro first, then bench, then the store bench: all three
+        // sections present afterwards.
+        update(&path, Some(&repro()), None, None).expect("write repro");
+        update(&path, None, Some(&core()), None).expect("write core");
+        update(&path, None, None, Some(&store())).expect("write store");
         let text = std::fs::read_to_string(&path).unwrap();
         let json = Json::parse(&text).expect("valid json");
         let r = parse_repro(&json).expect("repro preserved");
         assert_eq!(r, repro());
-        let c = parse_core(&json).expect("core written");
+        let c = parse_core(&json).expect("core preserved");
         assert_eq!(c, core());
+        let s = parse_store(&json).expect("store written");
+        assert_eq!(s, store());
 
-        // A later repro refresh keeps the bench section.
+        // A later repro refresh keeps the other sections.
         let mut r2 = repro();
         r2.total_seconds = 9.0;
-        update(&path, Some(&r2), None).expect("update repro");
+        update(&path, Some(&r2), None, None).expect("update repro");
         let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(parse_repro(&json).unwrap().total_seconds, 9.0);
         assert_eq!(parse_core(&json).unwrap(), core(), "core section preserved");
+        assert_eq!(parse_store(&json).unwrap(), store(), "store section preserved");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -298,6 +390,7 @@ mod tests {
         assert_eq!(r.simulated_points, 448);
         assert_eq!(r.cache_loaded, 0, "missing `loaded` defaults to 0");
         assert!(parse_core(&json).is_none());
+        assert!(parse_store(&json).is_none());
     }
 
     #[test]
@@ -305,7 +398,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("st-artifact-missing-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let path = dir.join("BENCH_sweep.json");
-        update(&path, None, Some(&core())).expect("write into fresh dir");
+        update(&path, None, Some(&core()), None).expect("write into fresh dir");
         let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert!(parse_repro(&json).is_none());
         assert_eq!(parse_core(&json).unwrap(), core());

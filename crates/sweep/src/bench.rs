@@ -19,6 +19,7 @@ use std::time::Instant;
 use st_core::Simulator;
 
 use crate::job::JobSpec;
+use crate::logstore::LogStore;
 use crate::persist::PersistentCache;
 use crate::spec::experiment_by_id;
 
@@ -164,6 +165,72 @@ pub fn run(config: &BenchConfig) -> Result<BenchResult, String> {
     })
 }
 
+/// Result of one `st bench --store` invocation: how fast the segment
+/// log absorbs a bulk append and how fast a cold reopen (the one
+/// sequential startup pass) decodes it back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreBenchResult {
+    /// Synthetic entries written and reloaded.
+    pub entries: u64,
+    /// On-disk bytes after the bulk append.
+    pub file_bytes: u64,
+    /// Segment files after the bulk append.
+    pub segments: u64,
+    /// Seconds spent appending every entry.
+    pub write_seconds: f64,
+    /// Seconds for the cold reopen-and-decode pass.
+    pub load_seconds: f64,
+}
+
+/// Times the segment-log result store: appends `entries` synthetic
+/// reports (one real simulation, then per-entry field perturbation so
+/// every payload is distinct), drops the store, and cold-reopens it
+/// with [`LogStore::open_loading`] — the same single sequential pass
+/// `st repro` startup performs.
+///
+/// # Errors
+///
+/// Returns an error if the scratch directory cannot be prepared, an
+/// append fails, or the reload disagrees with what was written.
+pub fn run_store_bench(entries: u64) -> Result<StoreBenchResult, String> {
+    let spec = st_workloads::by_name("go").ok_or("store-bench workload `go` missing")?;
+    let mut report = JobSpec::new(spec, 400).run();
+    let dir = std::env::temp_dir().join(format!("st-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = (|| {
+        let store = LogStore::open(&dir);
+        let write_start = Instant::now();
+        for i in 0..entries {
+            // Perturb one field per entry: payloads stay realistic in
+            // size and shape but are pairwise distinct, so the load
+            // pass cannot shortcut on identical bytes.
+            report.perf.cycles = report.perf.cycles.wrapping_add(1);
+            store.store(i + 1, &report).map_err(|e| format!("append {i} failed: {e}"))?;
+        }
+        let write_seconds = write_start.elapsed().as_secs_f64().max(1e-9);
+        let stats = store.stats();
+        drop(store);
+        let load_start = Instant::now();
+        let (reloaded, loaded) = LogStore::open_loading(&dir);
+        let load_seconds = load_start.elapsed().as_secs_f64().max(1e-9);
+        drop(reloaded);
+        if loaded.len() as u64 != entries {
+            return Err(format!("cold load found {} of {entries} entries", loaded.len()));
+        }
+        Ok(StoreBenchResult {
+            entries,
+            file_bytes: stats.file_bytes,
+            segments: stats.segments,
+            write_seconds,
+            load_seconds,
+        })
+    })();
+    // Clean up on every path so a failed run cannot poison a later
+    // same-PID invocation.
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
 /// Simulates one probe point twice from scratch and round-trips it
 /// through a persistent-cache entry; any bit drift is an error.
 fn determinism_probe(budget: u64) -> Result<(), String> {
@@ -233,5 +300,15 @@ mod tests {
         let cfg = BenchConfig::full().with_measure(50_000);
         assert_eq!(cfg.measure, 50_000);
         assert_eq!(cfg.warmup, 5_000);
+    }
+
+    #[test]
+    fn store_bench_round_trips_a_small_population() {
+        let r = run_store_bench(50).expect("store bench runs");
+        assert_eq!(r.entries, 50);
+        assert!(r.file_bytes > 0);
+        assert!(r.segments > 0);
+        assert!(r.write_seconds > 0.0);
+        assert!(r.load_seconds > 0.0);
     }
 }

@@ -29,12 +29,16 @@
 //!     (no gaps), bit-identical overlaps and per-record integrity.
 //!
 //! st serve [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
+//!          [--max-bytes N]
 //! st serve stop [--addr HOST:PORT]
 //!     Runs the long-lived sweep service: accepts specs over POST
 //!     /submit, serves every point cache-first from one shared engine
-//!     (results/.cache write-through), and streams back the canonical
-//!     tagged JSONL records. `st serve stop` asks a running service to
-//!     shut down gracefully (SIGINT does the same in-process).
+//!     (result-store write-through), and streams back the canonical
+//!     tagged JSONL records. With --max-bytes N and a segment-log store
+//!     the service evicts least-recently-used entries after each
+//!     submission to keep the store under N bytes. `st serve stop` asks
+//!     a running service to shut down gracefully (SIGINT does the same
+//!     in-process).
 //!
 //! st submit <spec.toml|spec.json> [--addr HOST:PORT]
 //!     Submits a spec file to a running service and pipes the streamed
@@ -45,11 +49,14 @@
 //!     Prints the service's GET /status counters (cache size, in-flight
 //!     points, served/simulated totals) as one line of JSON.
 //!
-//! st bench [--smoke] [--instr N] [--bench-json PATH]
+//! st bench [--smoke] [--instr N] [--bench-json PATH] [--store]
 //!     Measures steady-state simulated instructions/sec of the core hot
 //!     loop per workload × experiment, verifies determinism (fresh rerun
 //!     + persistent-cache round-trip) and updates BENCH_sweep.json's
-//!     core_bench section. Exits non-zero if determinism breaks.
+//!     core_bench section. Exits non-zero if determinism breaks. With
+//!     --store it instead times the segment-log result store (bulk
+//!     append + cold load of 1M synthetic entries; 20k with --smoke)
+//!     and updates the store_bench section.
 //!
 //! st plot <jsonl> --x <key> --y <metric>
 //!     Renders a cached sweep JSONL as ASCII bar charts (one per
@@ -58,28 +65,39 @@
 //! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
 //!
-//! st cache [clear|clear-claims] [--out DIR]
-//!     Inspects (or clears) the persistent result cache under
-//!     <out>/.cache; `clear-claims` drops only the work-stealing claim
-//!     files, un-wedging a crashed `--steal` fleet without losing any
-//!     cached result.
+//! st cache [show|stats|migrate|compact|clear|clear-claims] [--out DIR]
+//! st cache evict --max-bytes N [--out DIR]
+//!     Manages the persistent result store. `show` (the default) lists
+//!     what is warm; `stats` prints live/dead byte counters; `migrate`
+//!     converts the legacy JSON directory (<out>/.cache) to the
+//!     append-only segment log (<out>/.store) with a verified bit-exact
+//!     round-trip; `compact` rewrites the segment log dropping dead
+//!     bytes; `evict` drops least-recently-used entries until the store
+//!     fits --max-bytes; `clear` removes every stored result;
+//!     `clear-claims` drops only the work-stealing claim files,
+//!     un-wedging a crashed `--steal` fleet without losing any cached
+//!     result.
 //! ```
 //!
-//! `repro` and `run` keep a persistent result cache under
-//! `<out>/.cache` by default: entries load on start and every fresh
-//! simulation writes through, so repeated invocations and CI runs reuse
-//! points across processes. `--no-cache` opts a run out entirely.
+//! `repro` and `run` keep a persistent result store under the output
+//! directory by default: the append-only segment log at `<out>/.store`
+//! if one exists, otherwise the legacy JSON directory `<out>/.cache`.
+//! Entries load on start and every fresh simulation writes through, so
+//! repeated invocations and CI runs reuse points across processes.
+//! `st cache migrate` switches a directory to the segment format;
+//! `--no-cache` opts a run out entirely.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use st_sweep::artifact::{self, CoreBenchSection, ReproSection};
+use st_sweep::artifact::{self, CoreBenchSection, ReproSection, StoreBenchSection};
 use st_sweep::bench::BenchConfig;
 use st_sweep::emit::{sweep_jsonl_with_pairing, sweep_table, write_text};
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
+use st_sweep::persist::{self, MigrateStats};
 use st_sweep::service::{self, ServiceConfig};
 use st_sweep::{
-    all_experiments, axes, client, shard, AxisValue, PersistentCache, SweepEngine, SweepSpec,
+    all_experiments, axes, client, shard, AxisValue, PersistentCache, Store, SweepEngine, SweepSpec,
 };
 
 fn main() {
@@ -119,12 +137,14 @@ USAGE:
            [--set axis=v1,v2]... [--no-cache]
     st merge <shard.jsonl>... [--out DIR]
     st serve [stop] [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
+             [--max-bytes N]
     st submit <spec.toml|spec.json> [--addr HOST:PORT]
     st status [--addr HOST:PORT]
-    st bench [--smoke] [--instr N] [--bench-json PATH]
+    st bench [--smoke] [--instr N] [--bench-json PATH] [--store]
     st plot <jsonl> --x <key> --y <metric>
     st list [workloads|experiments|figures|axes]
-    st cache [clear|clear-claims] [--out DIR]
+    st cache [show|stats|migrate|compact|clear|clear-claims] [--out DIR]
+    st cache evict --max-bytes N [--out DIR]
 
 OPTIONS:
     --threads N      worker threads (default: all hardware threads;
@@ -137,7 +157,10 @@ OPTIONS:
     --set a=v1,v2    bind sweep axis `a` to the given values (repeatable;
                      overrides the spec — see `st list axes`)
     --out DIR        output directory (default: results/)
-    --no-cache       skip the persistent result cache under <out>/.cache
+    --no-cache       skip the persistent result store under <out>
+    --max-bytes N    `cache evict`/`serve`: keep the segment-log store
+                     under N bytes by evicting least-recently-used
+                     entries (underscores allowed, e.g. 64_000_000)
     --shard I/N      `run`: execute only shard I (0-based) of an N-way
                      fingerprint partition, streaming <out>/<name>.shard-I.jsonl
                      for `st merge` instead of the normal outputs
@@ -153,6 +176,8 @@ OPTIONS:
                      (default: BENCH_sweep.json)
     --smoke          `bench`: small budgets for CI (still runs the
                      determinism probe)
+    --store          `bench`: time the segment-log result store (bulk
+                     append + cold load) instead of the core hot loop
     --x KEY          `plot`: x-axis record key (e.g. axis.ruu_size)
     --y KEY          `plot`: y-axis metric (e.g. ipc, speedup, energy_j)
 ";
@@ -181,6 +206,10 @@ struct CommonOpts {
     /// `--x` / `--y`: only `plot` accepts them.
     x: Option<String>,
     y: Option<String>,
+    /// `--max-bytes`: only `cache evict` and `serve` accept it.
+    max_bytes: Option<u64>,
+    /// `--store`: only `bench` accepts it.
+    store: bool,
     /// Non-flag positionals, in order.
     positional: Vec<String>,
 }
@@ -196,12 +225,13 @@ impl CommonOpts {
         self.out_dir().join(".cache")
     }
 
-    /// An engine honouring `--threads` and `--no-cache`.
+    /// An engine honouring `--threads` and `--no-cache`; picks whichever
+    /// result-store format is present under the output directory.
     fn engine(&self) -> SweepEngine {
         if self.no_cache {
             SweepEngine::new(self.threads)
         } else {
-            SweepEngine::with_persistent_cache(self.threads, self.cache_dir())
+            SweepEngine::with_result_store(self.threads, self.out_dir())
         }
     }
 
@@ -232,6 +262,8 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         addr: None,
         x: None,
         y: None,
+        max_bytes: None,
+        store: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -268,6 +300,15 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
             "--addr" => opts.addr = Some(value_for("--addr")?),
             "--x" => opts.x = Some(value_for("--x")?),
             "--y" => opts.y = Some(value_for("--y")?),
+            "--max-bytes" => {
+                opts.max_bytes = Some(
+                    value_for("--max-bytes")?
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| "--max-bytes expects an integer".to_string())?,
+                );
+            }
+            "--store" => opts.store = true,
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => opts.positional.push(positional.to_string()),
@@ -318,8 +359,13 @@ fn cmd_repro(args: &[String]) -> i32 {
         || opts.y.is_some()
         || opts.sharding_flags()
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
     {
-        eprintln!("st repro: --smoke/--x/--y/--shard/--steal/-j/--addr apply elsewhere\n{USAGE}");
+        eprintln!(
+            "st repro: --smoke/--x/--y/--shard/--steal/-j/--addr/--max-bytes/--store apply \
+             elsewhere\n{USAGE}"
+        );
         return 2;
     }
     let bench_json_path =
@@ -337,13 +383,14 @@ fn cmd_repro(args: &[String]) -> i32 {
         ctx.instructions,
         engine.threads()
     );
-    match engine.persistent_cache() {
-        Some(cache) => println!(
-            "st repro: persistent cache at {} ({} entries loaded)\n",
-            cache.dir().display(),
+    match engine.result_store() {
+        Some(store) => println!(
+            "st repro: result store ({}) at {} ({} entries loaded)\n",
+            store.kind(),
+            store.dir().display(),
             engine.stats().loaded
         ),
-        None => println!("st repro: persistent cache disabled (--no-cache)\n"),
+        None => println!("st repro: result store disabled (--no-cache)\n"),
     }
 
     let wall = Instant::now();
@@ -388,7 +435,7 @@ fn cmd_repro(args: &[String]) -> i32 {
         cache_loaded: stats.loaded,
         cache_hit_rate: stats.cache.hit_rate(),
     };
-    match artifact::update(&bench_json_path, Some(&repro), None) {
+    match artifact::update(&bench_json_path, Some(&repro), None, None) {
         Ok(()) => println!("  [perf] {}", bench_json_path.display()),
         Err(e) => {
             eprintln!("st repro: could not write {}: {e}", bench_json_path.display());
@@ -425,9 +472,17 @@ fn cmd_bench(args: &[String]) -> i32 {
         || opts.no_cache
         || opts.sharding_flags()
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
     {
-        eprintln!("st bench: only --smoke, --instr and --bench-json apply\n{USAGE}");
+        eprintln!("st bench: only --smoke, --instr, --bench-json and --store apply\n{USAGE}");
         return 2;
+    }
+    if opts.store {
+        if opts.instr.is_some() {
+            eprintln!("st bench: --instr does not apply to `st bench --store`\n{USAGE}");
+            return 2;
+        }
+        return cmd_bench_store(&opts);
     }
     let mut config = if opts.smoke { BenchConfig::smoke() } else { BenchConfig::full() };
     if let Some(n) = opts.instr {
@@ -477,7 +532,7 @@ fn cmd_bench(args: &[String]) -> i32 {
     let bench_json_path =
         opts.bench_json.clone().unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
     let core = CoreBenchSection::from_result(&result, unix_now());
-    match artifact::update(&bench_json_path, None, Some(&core)) {
+    match artifact::update(&bench_json_path, None, Some(&core), None) {
         Ok(()) => println!("  [perf] {}", bench_json_path.display()),
         Err(e) => {
             eprintln!("st bench: could not write {}: {e}", bench_json_path.display());
@@ -489,6 +544,50 @@ fn cmd_bench(args: &[String]) -> i32 {
         return 1;
     }
     println!("st bench: determinism probe passed (fresh rerun + cache round-trip bit-identical)");
+    0
+}
+
+/// `st bench --store`: times the segment-log result store itself — bulk
+/// append of N synthetic entries followed by a cold reopen (the one
+/// sequential startup pass) — and records the numbers in
+/// BENCH_sweep.json's store_bench section.
+fn cmd_bench_store(opts: &CommonOpts) -> i32 {
+    let entries: u64 = if opts.smoke { 20_000 } else { 1_000_000 };
+    println!(
+        "st bench --store: {entries} synthetic entries (bulk append, then one cold \
+         sequential load)"
+    );
+    let result = match st_sweep::bench::run_store_bench(entries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("st bench: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "st bench --store: appended {} entries ({} MiB across {} segments) in {:.2}s \
+         ({:.0} entries/s)",
+        result.entries,
+        result.file_bytes / (1024 * 1024),
+        result.segments,
+        result.write_seconds,
+        result.entries as f64 / result.write_seconds.max(1e-9)
+    );
+    println!(
+        "st bench --store: cold load (one sequential pass) in {:.2}s ({:.0} entries/s)",
+        result.load_seconds,
+        result.entries as f64 / result.load_seconds.max(1e-9)
+    );
+    let bench_json_path =
+        opts.bench_json.clone().unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    let section = StoreBenchSection::from_result(&result, unix_now());
+    match artifact::update(&bench_json_path, None, None, Some(&section)) {
+        Ok(()) => println!("  [perf] {}", bench_json_path.display()),
+        Err(e) => {
+            eprintln!("st bench: could not write {}: {e}", bench_json_path.display());
+            return 1;
+        }
+    }
     0
 }
 
@@ -509,6 +608,8 @@ fn cmd_plot(args: &[String]) -> i32 {
         || opts.bench_json.is_some()
         || opts.sharding_flags()
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
     {
         eprintln!("st plot: only --x and --y apply\n{USAGE}");
         return 2;
@@ -599,10 +700,12 @@ fn cmd_run(args: &[String]) -> i32 {
         || opts.y.is_some()
         || opts.jobs.is_some()
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
     {
         eprintln!(
-            "st run: --smoke/--x/--y/-j/--addr apply to `st bench`/`st plot`/`st shard`/`st \
-             serve`\n{USAGE}"
+            "st run: --smoke/--x/--y/-j/--addr/--max-bytes/--store apply to `st bench`/`st \
+             plot`/`st shard`/`st serve`/`st cache`\n{USAGE}"
         );
         return 2;
     }
@@ -786,6 +889,8 @@ fn cmd_shard(args: &[String]) -> i32 {
         || opts.shard.is_some()
         || opts.steal
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
     {
         eprintln!("st shard: only -j, --instr, --set, --out and --no-cache apply\n{USAGE}");
         return 2;
@@ -912,6 +1017,8 @@ fn cmd_merge(args: &[String]) -> i32 {
         || opts.y.is_some()
         || opts.sharding_flags()
         || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
     {
         eprintln!("st merge: only --out applies to `st merge`\n{USAGE}");
         return 2;
@@ -986,11 +1093,11 @@ fn cmd_merge(args: &[String]) -> i32 {
 }
 
 /// Rejects every flag the service subcommands don't take; they share
-/// one narrow surface (`--addr`, plus `--out`/`--threads`/`--no-cache`
-/// for `serve` itself).
+/// one narrow surface (`--addr`, plus `--out`/`--threads`/`--no-cache`/
+/// `--max-bytes` for `serve` itself).
 fn reject_non_service_flags(cmd: &str, opts: &CommonOpts, allow_engine_flags: bool) -> bool {
-    let engine_flags_misused =
-        !allow_engine_flags && (opts.out.is_some() || opts.threads != 0 || opts.no_cache);
+    let engine_flags_misused = !allow_engine_flags
+        && (opts.out.is_some() || opts.threads != 0 || opts.no_cache || opts.max_bytes.is_some());
     if !opts.sets.is_empty()
         || opts.instr.is_some()
         || opts.bench_json.is_some()
@@ -998,10 +1105,14 @@ fn reject_non_service_flags(cmd: &str, opts: &CommonOpts, allow_engine_flags: bo
         || opts.x.is_some()
         || opts.y.is_some()
         || opts.sharding_flags()
+        || opts.store
         || engine_flags_misused
     {
-        let allowed =
-            if allow_engine_flags { "--addr, --out, --threads and --no-cache" } else { "--addr" };
+        let allowed = if allow_engine_flags {
+            "--addr, --out, --threads, --no-cache and --max-bytes"
+        } else {
+            "--addr"
+        };
         eprintln!("st {cmd}: only {allowed} apply\n{USAGE}");
         return true;
     }
@@ -1024,7 +1135,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         [action] if action == "stop" => {
             // `stop` is a pure client action: the engine flags configure
             // a server being started, not one being stopped.
-            if opts.out.is_some() || opts.threads != 0 || opts.no_cache {
+            if opts.out.is_some() || opts.threads != 0 || opts.no_cache || opts.max_bytes.is_some()
+            {
                 eprintln!("st serve stop: only --addr applies\n{USAGE}");
                 return 2;
             }
@@ -1048,8 +1160,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     }
     let addr = opts.service_addr();
-    let config =
-        ServiceConfig { out: opts.out_dir(), threads: opts.threads, no_cache: opts.no_cache };
+    let config = ServiceConfig {
+        out: opts.out_dir(),
+        threads: opts.threads,
+        no_cache: opts.no_cache,
+        max_store_bytes: opts.max_bytes,
+    };
     let server = match service::Server::bind(&addr, &config) {
         Ok(s) => s,
         Err(e) => {
@@ -1062,15 +1178,16 @@ fn cmd_serve(args: &[String]) -> i32 {
     // gate) read the actual port from it when binding port 0.
     println!("st serve: listening on http://{}", server.local_addr());
     let engine = server.service().engine();
-    match engine.persistent_cache() {
-        Some(cache) => println!(
-            "st serve: persistent cache at {} ({} entries loaded), {} simulation workers",
-            cache.dir().display(),
+    match engine.result_store() {
+        Some(store) => println!(
+            "st serve: result store ({}) at {} ({} entries loaded), {} simulation workers",
+            store.kind(),
+            store.dir().display(),
             engine.stats().loaded,
             server.service().workers()
         ),
         None => println!(
-            "st serve: persistent cache disabled (--no-cache), {} simulation workers",
+            "st serve: result store disabled (--no-cache), {} simulation workers",
             server.service().workers()
         ),
     }
@@ -1175,8 +1292,9 @@ fn cmd_cache(args: &[String]) -> i32 {
             return 2;
         }
     };
-    // Everything except --out is meaningless here; reject it rather than
-    // silently accepting flags that do nothing.
+    // Everything except --out (and --max-bytes for `evict`) is
+    // meaningless here; reject it rather than silently accepting flags
+    // that do nothing.
     if opts.threads != 0
         || opts.instr.is_some()
         || !opts.sets.is_empty()
@@ -1187,22 +1305,30 @@ fn cmd_cache(args: &[String]) -> i32 {
         || opts.y.is_some()
         || opts.sharding_flags()
         || opts.addr.is_some()
+        || opts.store
     {
-        eprintln!("st cache: only --out applies to `st cache`\n{USAGE}");
+        eprintln!("st cache: only --out (and --max-bytes for `evict`) apply\n{USAGE}");
         return 2;
     }
-    let cache = PersistentCache::new(opts.cache_dir());
-    match opts.positional.first().map(String::as_str) {
+    let action = opts.positional.first().map(String::as_str);
+    if opts.max_bytes.is_some() && action != Some("evict") {
+        eprintln!("st cache: --max-bytes only applies to `st cache evict`\n{USAGE}");
+        return 2;
+    }
+    let out_dir = opts.out_dir();
+    match action {
         None | Some("show") => {
-            // One pass over the directory: entries for the breakdown,
-            // summary counters for the header.
-            let (entries, s) = cache.load_with_summary();
+            // One sequential pass: entries for the breakdown, counters
+            // for the header — whichever format is on disk.
+            let (store, entries, load) = Store::open_loading(&out_dir);
+            let s = store.stats();
             println!(
-                "cache at {}: {} entries ({} KiB), {} unreadable",
-                cache.dir().display(),
+                "result store ({}) at {}: {} entries ({} KiB live), {} skipped corrupt",
+                store.kind(),
+                store.dir().display(),
                 s.entries,
-                s.bytes / 1024,
-                s.unreadable
+                s.live_bytes / 1024,
+                load.skipped_corrupt
             );
             // Per-experiment breakdown: what kinds of points are warm.
             let mut by_experiment: std::collections::BTreeMap<String, u64> =
@@ -1221,16 +1347,109 @@ fn cmd_cache(args: &[String]) -> i32 {
             );
             0
         }
-        Some("clear") => match cache.clear() {
-            Ok(removed) => {
-                println!("cache at {}: removed {removed} entries", cache.dir().display());
+        Some("stats") => {
+            let store = Store::open(&out_dir);
+            let s = store.stats();
+            println!("result store ({}) at {}:", store.kind(), store.dir().display());
+            println!("  entries          {}", s.entries);
+            println!("  live bytes       {}", s.live_bytes);
+            println!("  dead bytes       {}", s.dead_bytes);
+            println!("  file bytes       {}", s.file_bytes);
+            println!("  segments         {}", s.segments);
+            println!("  live ratio       {:.3}", s.live_ratio());
+            println!("  skipped corrupt  {}", s.skipped_corrupt);
+            println!("  torn tail bytes  {}", s.torn_tail_bytes);
+            println!("  evictions        {}", s.evictions);
+            println!("  compactions      {}", s.compactions);
+            if matches!(store, Store::Json(_)) {
+                println!(
+                    "  (legacy JSON format: no compaction or eviction; convert with `st cache \
+                     migrate`)"
+                );
+            }
+            0
+        }
+        Some("migrate") => match persist::migrate(&out_dir) {
+            Ok(MigrateStats { migrated, skipped_corrupt, bytes }) => {
+                println!(
+                    "st cache migrate: {} entries ({} KiB) now in the segment log at {} \
+                     (round-trip verified byte-exact), {} corrupt entries left behind",
+                    migrated,
+                    bytes / 1024,
+                    Store::log_dir(&out_dir).display(),
+                    skipped_corrupt
+                );
                 0
             }
             Err(e) => {
-                eprintln!("st cache: could not clear {}: {e}", cache.dir().display());
+                eprintln!("st cache: {e}");
                 1
             }
         },
+        Some("compact") => {
+            let store = Store::open(&out_dir);
+            match store.compact() {
+                Ok(c) => {
+                    println!(
+                        "st cache compact: {} live records rewritten, {} -> {} bytes \
+                         ({} corrupt frames dropped)",
+                        c.live_records, c.before_bytes, c.after_bytes, c.dropped_corrupt
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("st cache: {e}");
+                    1
+                }
+            }
+        }
+        Some("evict") => {
+            let Some(max) = opts.max_bytes else {
+                eprintln!("st cache evict: --max-bytes N is required\n{USAGE}");
+                return 2;
+            };
+            let store = Store::open(&out_dir);
+            match store.evict_to_budget(max) {
+                Ok(ev) => {
+                    println!(
+                        "st cache evict: {} entries ({} bytes) evicted; store is {} bytes \
+                         (budget {max})",
+                        ev.evicted, ev.evicted_bytes, ev.file_bytes
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("st cache: {e}");
+                    1
+                }
+            }
+        }
+        Some("clear") => {
+            // Both formats can coexist transiently (e.g. fresh JSON
+            // entries written by an old binary next to a migrated
+            // store); clear removes every stored result regardless.
+            let mut removed: u64 = 0;
+            let log_dir = Store::log_dir(&out_dir);
+            if log_dir.is_dir() {
+                let s = st_sweep::LogStore::open(&log_dir);
+                removed += s.stats().entries;
+                drop(s);
+                if let Err(e) = std::fs::remove_dir_all(&log_dir) {
+                    eprintln!("st cache: could not clear {}: {e}", log_dir.display());
+                    return 1;
+                }
+            }
+            let cache = PersistentCache::new(Store::json_dir(&out_dir));
+            match cache.clear() {
+                Ok(n) => removed += n,
+                Err(e) => {
+                    eprintln!("st cache: could not clear {}: {e}", cache.dir().display());
+                    return 1;
+                }
+            }
+            println!("result store under {}: removed {removed} entries", out_dir.display());
+            0
+        }
         // Claims are pure work-stealing coordination, distinct from the
         // cached results: clearing them un-wedges a crashed or re-run
         // `--steal` fleet without throwing away any simulated point.
@@ -1252,7 +1471,10 @@ fn cmd_cache(args: &[String]) -> i32 {
             }
         }
         Some(other) => {
-            eprintln!("st cache: unknown action `{other}` (try `show`, `clear` or `clear-claims`)");
+            eprintln!(
+                "st cache: unknown action `{other}` (try `show`, `stats`, `migrate`, `compact`, \
+                 `evict`, `clear` or `clear-claims`)"
+            );
             2
         }
     }

@@ -26,7 +26,8 @@ use st_core::SimReport;
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::job::JobSpec;
-use crate::persist::PersistentCache;
+use crate::logstore::LoadStats;
+use crate::persist::{PersistentCache, Store};
 
 /// Aggregate execution counters of an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,7 +47,8 @@ pub struct SweepEngine {
     cache: ResultCache,
     simulated: AtomicU64,
     loaded: u64,
-    persist: Option<PersistentCache>,
+    load_stats: LoadStats,
+    persist: Option<Store>,
 }
 
 impl SweepEngine {
@@ -64,6 +66,7 @@ impl SweepEngine {
             cache: ResultCache::new(),
             simulated: AtomicU64::new(0),
             loaded: 0,
+            load_stats: LoadStats::default(),
             persist: None,
         }
     }
@@ -74,25 +77,60 @@ impl SweepEngine {
         SweepEngine::new(0)
     }
 
-    /// An engine backed by the persistent on-disk cache at `dir`
+    /// An engine backed by the legacy JSON cache directory at `dir`
     /// (conventionally `results/.cache/`): every readable entry is
     /// preloaded into the in-memory cache, and every freshly simulated
     /// point is written through, so repeated invocations reuse points
-    /// across processes.
+    /// across processes. Prefer [`SweepEngine::with_result_store`],
+    /// which auto-detects the on-disk format from the output directory.
     #[must_use]
     pub fn with_persistent_cache(threads: usize, dir: impl AsRef<Path>) -> SweepEngine {
+        let cache = PersistentCache::new(dir.as_ref());
+        let (entries, summary) = cache.load_with_summary();
+        let stats = LoadStats {
+            entries: summary.entries,
+            skipped_corrupt: summary.skipped_corrupt,
+            ..LoadStats::default()
+        };
+        SweepEngine::assemble(threads, Store::Json(cache), entries, stats)
+    }
+
+    /// An engine backed by the result store under `out_dir`, in
+    /// whichever on-disk format is present: the append-only segment log
+    /// at `<out>/.store/` if it exists, else the legacy JSON directory
+    /// at `<out>/.cache/` (see [`Store::open`]). Every live entry is
+    /// preloaded in one sequential pass and every freshly simulated
+    /// point is written through.
+    #[must_use]
+    pub fn with_result_store(threads: usize, out_dir: impl AsRef<Path>) -> SweepEngine {
+        let (store, entries, stats) = Store::open_loading(out_dir.as_ref());
+        SweepEngine::assemble(threads, store, entries, stats)
+    }
+
+    fn assemble(
+        threads: usize,
+        store: Store,
+        entries: Vec<(u64, SimReport)>,
+        stats: LoadStats,
+    ) -> SweepEngine {
         let mut engine = SweepEngine::new(threads);
-        let persist = PersistentCache::new(dir.as_ref());
-        engine.loaded =
-            engine.cache.preload(persist.load().into_iter().map(|(fp, r)| (fp, Arc::new(r))));
-        engine.persist = Some(persist);
+        engine.loaded = engine.cache.preload(entries.into_iter().map(|(fp, r)| (fp, Arc::new(r))));
+        engine.load_stats = stats;
+        engine.persist = Some(store);
         engine
     }
 
-    /// The persistent cache this engine writes through to, if any.
+    /// The result store this engine writes through to, if any.
     #[must_use]
-    pub fn persistent_cache(&self) -> Option<&PersistentCache> {
+    pub fn result_store(&self) -> Option<&Store> {
         self.persist.as_ref()
+    }
+
+    /// What the startup load of the result store found (corrupt entries
+    /// skipped, torn tails truncated, …). All zeros without a store.
+    #[must_use]
+    pub fn load_stats(&self) -> LoadStats {
+        self.load_stats
     }
 
     /// Worker-pool size.
@@ -262,6 +300,48 @@ mod tests {
         assert_eq!(stats.cache.hits, 2);
         assert_eq!(out1, out2, "disk round-trip is bit-exact");
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_store_serves_a_migrated_segment_store_identically() {
+        let out = std::env::temp_dir().join(format!("st-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+
+        // Seed through the default (legacy JSON) format...
+        let first = SweepEngine::with_result_store(2, &out);
+        assert_eq!(first.result_store().map(Store::kind), Some("json-dir"));
+        let out1 = first.run(&[job(17), job(18)]);
+        assert_eq!(first.stats().simulated, 2);
+
+        // ...convert in place, and the same constructor now preloads
+        // the segment log with bit-identical reports.
+        crate::persist::migrate(&out).expect("migrate");
+        let second = SweepEngine::with_result_store(2, &out);
+        assert_eq!(second.result_store().map(Store::kind), Some("segment-log"));
+        assert_eq!(second.stats().loaded, 2);
+        let out2 = second.run(&[job(17), job(18)]);
+        assert_eq!(second.stats().simulated, 0, "everything came from the segment log");
+        assert_eq!(out1, out2, "migration is observationally invisible");
+
+        // Write-through appends to the log and survives another restart.
+        let _ = second.run(&[job(19)]);
+        let third = SweepEngine::with_result_store(2, &out);
+        assert_eq!(third.stats().loaded, 3);
+
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn corrupt_legacy_entries_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join(format!("st-engine-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = SweepEngine::with_persistent_cache(2, &dir);
+        let _ = first.run(&[job(30), job(31)]);
+        std::fs::write(dir.join(format!("{:016x}.json", 0x5555u64)), "{torn").unwrap();
+        let second = SweepEngine::with_persistent_cache(2, &dir);
+        assert_eq!(second.stats().loaded, 2, "good entries still load");
+        assert_eq!(second.load_stats().skipped_corrupt, 1, "bad entry skipped and counted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

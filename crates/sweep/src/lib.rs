@@ -17,10 +17,15 @@
 //!   fingerprint-keyed [`ResultCache`] simulates each distinct point
 //!   exactly once per engine lifetime. Thread count cannot influence any
 //!   result bit;
-//! * **[`persist`]** — the on-disk result cache
-//!   (`results/.cache/<fingerprint>.json`, bit-exact round-trips);
-//!   [`SweepEngine::with_persistent_cache`] preloads it and writes fresh
-//!   points through, so repeated invocations reuse work across processes;
+//! * **[`persist`]** — the on-disk result store behind a format
+//!   abstraction ([`persist::Store`]): the legacy JSON directory
+//!   (`results/.cache/<fingerprint>.json`) or the append-only segment
+//!   log in **[`logstore`]** (`results/.store/seg-<n>.log`, with
+//!   crash-safe recovery, compaction and LRU size-budget eviction;
+//!   `st cache migrate` converts in place with a proven bit-exact
+//!   round-trip). [`SweepEngine::with_result_store`] preloads whichever
+//!   format is present and writes fresh points through, so repeated
+//!   invocations reuse work across processes;
 //! * **[`SweepSpec`]** — a declarative workload × experiment × axis grid
 //!   (`axis.<name>` keys with legacy aliases), buildable in code or
 //!   parsed from a small TOML/JSON document;
@@ -54,8 +59,8 @@
 //!   shard outputs, `st serve` runs the long-lived sweep service,
 //!   `st submit`/`st status` talk to it, `st bench` measures the hot
 //!   loop and gates determinism, `st plot` charts cached JSONL,
-//!   `st list` shows what is available and `st cache` inspects the
-//!   persistent cache.
+//!   `st list` shows what is available and `st cache` inspects,
+//!   migrates, compacts and size-bounds the result store.
 //!
 //! ## Example
 //!
@@ -90,6 +95,7 @@ pub mod engine;
 pub mod figures;
 pub mod job;
 pub mod json;
+pub mod logstore;
 pub mod persist;
 pub mod plot;
 pub mod service;
@@ -101,7 +107,8 @@ pub use cache::{CacheStats, ResultCache};
 pub use client::ClientError;
 pub use engine::{EngineStats, SweepEngine};
 pub use job::{EstimatorChoice, JobSpec};
-pub use persist::PersistentCache;
+pub use logstore::{LoadStats, LogStore, StoreStats};
+pub use persist::{PersistentCache, Store};
 pub use service::{Server, ServiceConfig, SweepService};
 pub use shard::{ClaimDir, ShardError, ShardPlan};
 pub use spec::{all_experiments, experiment_by_id, SpecError, SweepPoint, SweepSpec};

@@ -70,6 +70,7 @@ use st_core::SimReport;
 use crate::emit;
 use crate::engine::SweepEngine;
 use crate::job::JobSpec;
+use crate::persist::Store;
 use crate::spec::{SweepPoint, SweepSpec};
 
 /// Largest request body the server will read, in bytes. Sweep specs are
@@ -136,13 +137,24 @@ pub struct ServiceConfig {
     /// Skip the persistent on-disk cache (results are still memoised
     /// in memory for the server's lifetime).
     pub no_cache: bool,
+    /// Size budget for the segment store (`st serve --max-bytes`):
+    /// after each submission the service evicts least-recently-used
+    /// entries until the store fits. Entries of in-flight submissions
+    /// are pinned and never evicted. Ignored (with a startup warning)
+    /// for the legacy JSON format, which has no eviction policy.
+    pub max_store_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
     /// The `st serve` defaults: cache under `results/.cache`, worker
-    /// pool sized to the hardware.
+    /// pool sized to the hardware, no size budget.
     fn default() -> ServiceConfig {
-        ServiceConfig { out: PathBuf::from("results"), threads: 0, no_cache: false }
+        ServiceConfig {
+            out: PathBuf::from("results"),
+            threads: 0,
+            no_cache: false,
+            max_store_bytes: None,
+        }
     }
 }
 
@@ -211,20 +223,22 @@ pub struct SweepService {
     submissions: AtomicU64,
     active_submissions: AtomicU64,
     points_served: AtomicU64,
+    max_store_bytes: Option<u64>,
 }
 
 impl SweepService {
-    /// A service configured per `config` (engine + persistent cache
-    /// preload happen here, so construction may read `<out>/.cache`).
+    /// A service configured per `config` (engine + result-store preload
+    /// happen here, so construction may read `<out>/.store` or
+    /// `<out>/.cache`, and enforces the size budget once up front).
     #[must_use]
     pub fn new(config: &ServiceConfig) -> SweepService {
         let engine = if config.no_cache {
             SweepEngine::new(config.threads)
         } else {
-            SweepEngine::with_persistent_cache(config.threads, config.out.join(".cache"))
+            SweepEngine::with_result_store(config.threads, &config.out)
         };
         let workers = engine.threads();
-        SweepService {
+        let service = SweepService {
             engine,
             workers,
             permits: Semaphore::new(workers),
@@ -232,6 +246,30 @@ impl SweepService {
             submissions: AtomicU64::new(0),
             active_submissions: AtomicU64::new(0),
             points_served: AtomicU64::new(0),
+            max_store_bytes: config.max_store_bytes,
+        };
+        if service.max_store_bytes.is_some() {
+            match service.engine.result_store() {
+                Some(Store::Log(_)) => service.enforce_store_budget(),
+                Some(Store::Json(_)) => eprintln!(
+                    "st serve: --max-bytes needs the segment store; run `st cache migrate` \
+                     (budget ignored for the legacy JSON cache)"
+                ),
+                None => eprintln!("st serve: --max-bytes has no effect with --no-cache"),
+            }
+        }
+        service
+    }
+
+    /// Evicts down to the configured byte budget (segment store only;
+    /// pinned in-flight entries are exempt, so the store may run over
+    /// budget transiently while submissions stream).
+    fn enforce_store_budget(&self) {
+        let Some(max) = self.max_store_bytes else { return };
+        if let Some(store @ Store::Log(_)) = self.engine.result_store() {
+            if let Err(e) = store.evict_to_budget(max) {
+                eprintln!("st serve: store eviction failed: {e}");
+            }
         }
     }
 
@@ -347,8 +385,20 @@ impl SweepService {
     ) -> std::io::Result<()> {
         self.submissions.fetch_add(1, Ordering::Relaxed);
         self.active_submissions.fetch_add(1, Ordering::Relaxed);
+        // Pin this submission's fingerprints for the duration of the
+        // stream: a concurrent budget enforcement must never evict an
+        // entry this submission is about to read.
+        let fingerprints: Vec<u64> = points.iter().map(|p| p.job.fingerprint()).collect();
+        let pins = self.engine.result_store().and_then(|s| s.pin(&fingerprints));
         let result = self.stream_inner(points, pairing, sink);
+        drop(pins);
+        if let Some(store) = self.engine.result_store() {
+            // The whole working set counts as recently used, so LRU
+            // eviction prefers entries no submission asked for lately.
+            store.touch_all(&fingerprints);
+        }
         self.active_submissions.fetch_sub(1, Ordering::Relaxed);
+        self.enforce_store_budget();
         result
     }
 
@@ -438,19 +488,35 @@ impl SweepService {
     }
 
     /// The `GET /status` payload: one line of JSON over the live
-    /// counters (engine cache + service totals).
+    /// counters (engine cache + service totals + result-store
+    /// accounting, including eviction/compaction totals).
     #[must_use]
     pub fn status_json(&self) -> String {
         let stats = self.engine.stats();
         let in_flight = self.in_flight.lock().expect("in-flight table poisoned").len();
-        let cache_dir = match self.engine.persistent_cache() {
-            Some(cache) => {
-                format!("\"{}\"", emit::json_escape(&cache.dir().display().to_string()))
+        let (cache_dir, store) = match self.engine.result_store() {
+            Some(result_store) => {
+                let s = result_store.stats();
+                let dir =
+                    format!("\"{}\"", emit::json_escape(&result_store.dir().display().to_string()));
+                let store = format!(
+                    "{{\"kind\":\"{}\",\"entries\":{},\"live_bytes\":{},\"dead_bytes\":{},\"file_bytes\":{},\"segments\":{},\"skipped_corrupt\":{},\"evictions\":{},\"compactions\":{}}}",
+                    s.kind,
+                    s.entries,
+                    s.live_bytes,
+                    s.dead_bytes,
+                    s.file_bytes,
+                    s.segments,
+                    s.skipped_corrupt,
+                    s.evictions,
+                    s.compactions,
+                );
+                (dir, store)
             }
-            None => "null".to_string(),
+            None => ("null".to_string(), "null".to_string()),
         };
         format!(
-            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{}}}",
+            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{},\"store\":{}}}",
             self.workers,
             self.submissions.load(Ordering::Relaxed),
             self.active_submissions.load(Ordering::Relaxed),
@@ -462,6 +528,7 @@ impl SweepService {
             stats.cache.hits,
             stats.cache.misses,
             cache_dir,
+            store,
         )
     }
 }
@@ -834,7 +901,7 @@ mod tests {
     fn write_through_persists_under_the_out_dir() {
         let out = std::env::temp_dir().join(format!("st-service-persist-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&out);
-        let config = ServiceConfig { out: out.clone(), threads: 2, no_cache: false };
+        let config = ServiceConfig { out: out.clone(), threads: 2, ..ServiceConfig::default() };
         let (_, addr, handle) = start(&config);
         let mut buf = Vec::new();
         client::submit(&addr, TINY_SPEC, &mut buf).expect("submit");
@@ -845,6 +912,44 @@ mod tests {
         // restarted server, conceptually) preloads all four.
         let reloaded = SweepEngine::with_persistent_cache(1, out.join(".cache"));
         assert_eq!(reloaded.stats().loaded, 4, "all points persisted");
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn store_budget_is_enforced_after_submissions_but_never_mid_stream() {
+        let out = std::env::temp_dir().join(format!("st-service-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        // Opt the output directory into the segment store, then serve
+        // with a budget far below one submission's working set.
+        crate::persist::migrate(&out).expect("activate segment store");
+        let config = ServiceConfig {
+            out: out.clone(),
+            threads: 2,
+            max_store_bytes: Some(1024),
+            ..ServiceConfig::default()
+        };
+        let service = SweepService::new(&config);
+        let spec = SweepSpec::parse(TINY_SPEC).expect("spec");
+        let points = spec.points().expect("points");
+        let canonical = canonical_jsonl(TINY_SPEC);
+
+        // Mid-stream the just-written entries are pinned, so the bytes
+        // that reach the client are the canonical ones even though the
+        // store is over budget the whole time.
+        let mut sink = Vec::new();
+        service.stream(&points, &mut sink).expect("stream");
+        assert_eq!(String::from_utf8(sink).expect("utf8"), canonical);
+
+        // After the submission the budget applies: the store was evicted
+        // and compacted down to (at most) the configured size.
+        let stats = service.engine().result_store().expect("store").stats();
+        assert_eq!(stats.kind, "segment-log");
+        assert!(stats.file_bytes <= 1024, "budget enforced: {stats:?}");
+        assert!(stats.evictions > 0, "eviction actually ran: {stats:?}");
+        assert!(stats.compactions > 0, "compaction actually ran: {stats:?}");
+        let status = service.status_json();
+        assert!(status.contains("\"store\":{\"kind\":\"segment-log\""), "{status}");
+        assert!(status.contains("\"evictions\":"), "{status}");
         let _ = std::fs::remove_dir_all(&out);
     }
 
