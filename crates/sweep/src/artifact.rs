@@ -111,6 +111,99 @@ impl StoreBenchSection {
     }
 }
 
+/// The `st loadgen` section, written to its own `BENCH_service.json`:
+/// measured service throughput and latency percentiles under concurrent
+/// submission load — the CI-tracked "heavy traffic" number.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceBenchSection {
+    /// Unix time the load run finished.
+    pub unix_time: u64,
+    /// Concurrent client threads.
+    pub clients: u64,
+    /// Submissions completed successfully.
+    pub submissions: u64,
+    /// Submissions that failed (backpressure, dead fleet, …).
+    pub failures: u64,
+    /// Records streamed per successful submission.
+    pub records_per_submission: u64,
+    /// Wall-clock seconds for the whole run.
+    pub total_seconds: f64,
+    /// Successful submissions per second.
+    pub submissions_per_sec: f64,
+    /// Records per second across all successful submissions.
+    pub records_per_sec: f64,
+    /// Median submission latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile submission latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile submission latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean submission latency, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest submission, milliseconds.
+    pub min_ms: f64,
+    /// Slowest submission, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Writes the `st loadgen` artifact (`BENCH_service.json`). The file
+/// holds exactly one section today, but it renders through the same
+/// schema conventions as `BENCH_sweep.json` (a `bench` discriminator +
+/// one object per instrument) so future sections can merge in the same
+/// way.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn update_service(path: &Path, service: &ServiceBenchSection) -> std::io::Result<()> {
+    let s = service;
+    write_text(
+        path,
+        &format!(
+            "{{\n  \"bench\": \"st_service\",\n  \"service_bench\": {{\n    \"unix_time\": {},\n    \"clients\": {},\n    \"submissions\": {},\n    \"failures\": {},\n    \"records_per_submission\": {},\n    \"total_seconds\": {},\n    \"submissions_per_sec\": {},\n    \"records_per_sec\": {},\n    \"p50_ms\": {},\n    \"p90_ms\": {},\n    \"p99_ms\": {},\n    \"mean_ms\": {},\n    \"min_ms\": {},\n    \"max_ms\": {}\n  }}\n}}\n",
+            s.unix_time,
+            s.clients,
+            s.submissions,
+            s.failures,
+            s.records_per_submission,
+            json_num(s.total_seconds),
+            json_num(s.submissions_per_sec),
+            json_num(s.records_per_sec),
+            json_num(s.p50_ms),
+            json_num(s.p90_ms),
+            json_num(s.p99_ms),
+            json_num(s.mean_ms),
+            json_num(s.min_ms),
+            json_num(s.max_ms),
+        ),
+    )
+}
+
+/// Reads a `BENCH_service.json` back into its section (`None` if the
+/// file is missing or malformed) — the round-trip proof for tests and
+/// trend tooling.
+#[must_use]
+pub fn read_service(path: &Path) -> Option<ServiceBenchSection> {
+    let json = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    let s = json.get("service_bench")?;
+    Some(ServiceBenchSection {
+        unix_time: s.get("unix_time")?.as_u64().ok()?,
+        clients: s.get("clients")?.as_u64().ok()?,
+        submissions: s.get("submissions")?.as_u64().ok()?,
+        failures: s.get("failures")?.as_u64().ok()?,
+        records_per_submission: s.get("records_per_submission")?.as_u64().ok()?,
+        total_seconds: s.get("total_seconds")?.as_f64().ok()?,
+        submissions_per_sec: s.get("submissions_per_sec")?.as_f64().ok()?,
+        records_per_sec: s.get("records_per_sec")?.as_f64().ok()?,
+        p50_ms: s.get("p50_ms")?.as_f64().ok()?,
+        p90_ms: s.get("p90_ms")?.as_f64().ok()?,
+        p99_ms: s.get("p99_ms")?.as_f64().ok()?,
+        mean_ms: s.get("mean_ms")?.as_f64().ok()?,
+        min_ms: s.get("min_ms")?.as_f64().ok()?,
+        max_ms: s.get("max_ms")?.as_f64().ok()?,
+    })
+}
+
 /// Updates `path`, replacing the given section(s) and preserving the
 /// others from the existing file (if readable).
 ///
@@ -391,6 +484,34 @@ mod tests {
         assert_eq!(r.cache_loaded, 0, "missing `loaded` defaults to 0");
         assert!(parse_core(&json).is_none());
         assert!(parse_store(&json).is_none());
+    }
+
+    #[test]
+    fn service_section_round_trips_through_its_own_file() {
+        let dir = std::env::temp_dir().join(format!("st-artifact-service-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_service.json");
+        let section = ServiceBenchSection {
+            unix_time: 45,
+            clients: 8,
+            submissions: 32,
+            failures: 0,
+            records_per_submission: 24,
+            total_seconds: 2.5,
+            submissions_per_sec: 12.8,
+            records_per_sec: 307.2,
+            p50_ms: 40.0,
+            p90_ms: 55.5,
+            p99_ms: 61.25,
+            mean_ms: 42.0,
+            min_ms: 30.0,
+            max_ms: 62.0,
+        };
+        update_service(&path, &section).expect("write service bench");
+        assert_eq!(read_service(&path), Some(section), "bit-exact round trip");
+        assert!(read_service(&dir.join("nope.json")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

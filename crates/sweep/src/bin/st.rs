@@ -30,20 +30,38 @@
 //!
 //! st serve [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
 //!          [--max-bytes N]
+//! st serve --fleet W1:PORT,W2:PORT,... [--addr HOST:PORT]
+//!          [--max-inflight N] [--worker-timeout SECS]
 //! st serve stop [--addr HOST:PORT]
 //!     Runs the long-lived sweep service: accepts specs over POST
 //!     /submit, serves every point cache-first from one shared engine
 //!     (result-store write-through), and streams back the canonical
 //!     tagged JSONL records. With --max-bytes N and a segment-log store
 //!     the service evicts least-recently-used entries after each
-//!     submission to keep the store under N bytes. `st serve stop` asks
-//!     a running service to shut down gracefully (SIGINT does the same
-//!     in-process).
+//!     submission to keep the store under N bytes. With --fleet it is a
+//!     *coordinator* instead: each submission is partitioned by
+//!     fingerprint range across the listed remote `st serve` workers,
+//!     the returned streams are verified and merged byte-identically to
+//!     a local run, dead workers' unfinished ranges fail over to
+//!     survivors, and --max-inflight submissions stream concurrently
+//!     (the next one gets a structured 429). `st serve stop` asks a
+//!     running service or coordinator to shut down gracefully (SIGINT
+//!     does the same in-process).
 //!
-//! st submit <spec.toml|spec.json> [--addr HOST:PORT]
+//! st submit <spec.toml|spec.json> [--addr HOST:PORT] [--priority N]
 //!     Submits a spec file to a running service and pipes the streamed
 //!     JSONL to stdout — byte-identical to a local `st run` of the same
 //!     spec (diagnostics go to stderr, so redirection stays clean).
+//!     --priority orders the fleet coordinator's dispatch queue (higher
+//!     first, FIFO within a class; plain servers ignore it).
+//!
+//! st loadgen <spec.toml|spec.json> [--addr HOST:PORT] [--clients N]
+//!            [--submissions M] [--priority N] [--smoke]
+//!            [--bench-json PATH]
+//!     Replays M concurrent submissions of the spec through N client
+//!     threads against a running service or fleet, then records
+//!     throughput and p50/p90/p99 latency into BENCH_service.json.
+//!     Failures (backpressure, truncation) are counted, never retried.
 //!
 //! st status [--addr HOST:PORT]
 //!     Prints the service's GET /status counters (cache size, in-flight
@@ -88,12 +106,14 @@
 //! `--no-cache` opts a run out entirely.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use st_sweep::artifact::{self, CoreBenchSection, ReproSection, StoreBenchSection};
 use st_sweep::bench::BenchConfig;
 use st_sweep::emit::{sweep_jsonl_with_pairing, sweep_table, write_text};
 use st_sweep::figures::{FigureCtx, ALL_FIGURES};
+use st_sweep::fleet::{FleetConfig, FleetServer};
+use st_sweep::loadgen::{self, LoadgenConfig};
 use st_sweep::persist::{self, MigrateStats};
 use st_sweep::service::{self, ServiceConfig};
 use st_sweep::{
@@ -110,6 +130,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
@@ -138,8 +159,12 @@ USAGE:
     st merge <shard.jsonl>... [--out DIR]
     st serve [stop] [--addr HOST:PORT] [--out DIR] [--threads N] [--no-cache]
              [--max-bytes N]
-    st submit <spec.toml|spec.json> [--addr HOST:PORT]
+    st serve --fleet W1:P,W2:P,... [--addr HOST:PORT] [--max-inflight N]
+             [--worker-timeout SECS]
+    st submit <spec.toml|spec.json> [--addr HOST:PORT] [--priority N]
     st status [--addr HOST:PORT]
+    st loadgen <spec.toml|spec.json> [--addr HOST:PORT] [--clients N]
+             [--submissions M] [--priority N] [--smoke] [--bench-json PATH]
     st bench [--smoke] [--instr N] [--bench-json PATH] [--store]
     st plot <jsonl> --x <key> --y <metric>
     st list [workloads|experiments|figures|axes]
@@ -169,13 +194,28 @@ OPTIONS:
                      shards after finishing the own range
     -j, --jobs N     `shard`: worker processes to spawn (default: all
                      hardware threads)
-    --addr H:P       `serve`/`submit`/`status`: the sweep service address
-                     (default 127.0.0.1:7077; `serve --addr H:0` binds an
-                     ephemeral port and prints it)
-    --bench-json P   where `repro`/`bench` update the perf artifact
-                     (default: BENCH_sweep.json)
-    --smoke          `bench`: small budgets for CI (still runs the
-                     determinism probe)
+    --addr H:P       `serve`/`submit`/`status`/`loadgen`: the sweep
+                     service address (default 127.0.0.1:7077; `serve
+                     --addr H:0` binds an ephemeral port and prints it)
+    --fleet W,...    `serve`: coordinate the listed remote `st serve`
+                     workers instead of simulating locally (engine flags
+                     like --threads/--out do not apply)
+    --max-inflight N `serve --fleet`: concurrently streaming submissions
+                     admitted before replying 429 (default 8)
+    --worker-timeout SECS
+                     `serve --fleet`: per-record patience before a
+                     silent worker is declared dead and its unfinished
+                     range fails over (default 120)
+    --priority N     `submit`/`loadgen`: dispatch priority on a fleet
+                     coordinator (higher first; plain servers ignore it)
+    --clients N      `loadgen`: concurrent client threads (default 8;
+                     2 with --smoke)
+    --submissions M  `loadgen`: total submissions across all clients
+                     (default 32; 4 with --smoke)
+    --bench-json P   where `repro`/`bench` update BENCH_sweep.json and
+                     `loadgen` updates BENCH_service.json
+    --smoke          `bench`/`loadgen`: small budgets for CI (`bench`
+                     still runs the determinism probe)
     --store          `bench`: time the segment-log result store (bulk
                      append + cold load) instead of the core hot loop
     --x KEY          `plot`: x-axis record key (e.g. axis.ruu_size)
@@ -210,6 +250,18 @@ struct CommonOpts {
     max_bytes: Option<u64>,
     /// `--store`: only `bench` accepts it.
     store: bool,
+    /// `--fleet w1,w2,...`: only `serve` accepts it.
+    fleet: Option<String>,
+    /// `--max-inflight`: only `serve --fleet` accepts it.
+    max_inflight: Option<usize>,
+    /// `--worker-timeout` seconds: only `serve --fleet` accepts it.
+    worker_timeout: Option<u64>,
+    /// `--priority`: only `submit` and `loadgen` accept it.
+    priority: Option<u32>,
+    /// `--clients`: only `loadgen` accepts it.
+    clients: Option<usize>,
+    /// `--submissions`: only `loadgen` accepts it.
+    submissions: Option<usize>,
     /// Non-flag positionals, in order.
     positional: Vec<String>,
 }
@@ -245,6 +297,22 @@ impl CommonOpts {
     fn service_addr(&self) -> String {
         self.addr.clone().unwrap_or_else(|| "127.0.0.1:7077".to_string())
     }
+
+    /// Whether any fleet flag (`--fleet`, `--max-inflight`,
+    /// `--worker-timeout`) was given; only `serve` accepts them.
+    fn fleet_flags(&self) -> bool {
+        self.fleet.is_some() || self.max_inflight.is_some() || self.worker_timeout.is_some()
+    }
+
+    /// Whether any flag owned by the service tier (`serve --fleet`,
+    /// `submit --priority`, `loadgen`) was given; every offline
+    /// subcommand rejects them in one breath.
+    fn service_tier_flags(&self) -> bool {
+        self.fleet_flags()
+            || self.priority.is_some()
+            || self.clients.is_some()
+            || self.submissions.is_some()
+    }
 }
 
 fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
@@ -264,6 +332,12 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         y: None,
         max_bytes: None,
         store: false,
+        fleet: None,
+        max_inflight: None,
+        worker_timeout: None,
+        priority: None,
+        clients: None,
+        submissions: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -309,6 +383,42 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
                 );
             }
             "--store" => opts.store = true,
+            "--fleet" => opts.fleet = Some(value_for("--fleet")?),
+            "--max-inflight" => {
+                opts.max_inflight = Some(
+                    value_for("--max-inflight")?
+                        .parse()
+                        .map_err(|_| "--max-inflight expects an integer".to_string())?,
+                );
+            }
+            "--worker-timeout" => {
+                opts.worker_timeout = Some(
+                    value_for("--worker-timeout")?
+                        .parse()
+                        .map_err(|_| "--worker-timeout expects whole seconds".to_string())?,
+                );
+            }
+            "--priority" => {
+                opts.priority = Some(
+                    value_for("--priority")?
+                        .parse()
+                        .map_err(|_| "--priority expects an unsigned integer".to_string())?,
+                );
+            }
+            "--clients" => {
+                opts.clients = Some(
+                    value_for("--clients")?
+                        .parse()
+                        .map_err(|_| "--clients expects an integer".to_string())?,
+                );
+            }
+            "--submissions" => {
+                opts.submissions = Some(
+                    value_for("--submissions")?
+                        .parse()
+                        .map_err(|_| "--submissions expects an integer".to_string())?,
+                );
+            }
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => opts.positional.push(positional.to_string()),
@@ -361,10 +471,11 @@ fn cmd_repro(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!(
-            "st repro: --smoke/--x/--y/--shard/--steal/-j/--addr/--max-bytes/--store apply \
-             elsewhere\n{USAGE}"
+            "st repro: --smoke/--x/--y/--shard/--steal/-j/--store and the service/fleet \
+             flags apply elsewhere\n{USAGE}"
         );
         return 2;
     }
@@ -473,6 +584,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         || opts.sharding_flags()
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
+        || opts.service_tier_flags()
     {
         eprintln!("st bench: only --smoke, --instr, --bench-json and --store apply\n{USAGE}");
         return 2;
@@ -610,6 +722,7 @@ fn cmd_plot(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!("st plot: only --x and --y apply\n{USAGE}");
         return 2;
@@ -702,10 +815,11 @@ fn cmd_run(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!(
-            "st run: --smoke/--x/--y/-j/--addr/--max-bytes/--store apply to `st bench`/`st \
-             plot`/`st shard`/`st serve`/`st cache`\n{USAGE}"
+            "st run: --smoke/--x/--y/-j/--store and the service/fleet flags apply to `st \
+             bench`/`st plot`/`st shard`/`st serve`/`st cache`/`st loadgen`\n{USAGE}"
         );
         return 2;
     }
@@ -891,6 +1005,7 @@ fn cmd_shard(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!("st shard: only -j, --instr, --set, --out and --no-cache apply\n{USAGE}");
         return 2;
@@ -1019,6 +1134,7 @@ fn cmd_merge(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!("st merge: only --out applies to `st merge`\n{USAGE}");
         return 2;
@@ -1094,10 +1210,21 @@ fn cmd_merge(args: &[String]) -> i32 {
 
 /// Rejects every flag the service subcommands don't take; they share
 /// one narrow surface (`--addr`, plus `--out`/`--threads`/`--no-cache`/
-/// `--max-bytes` for `serve` itself).
-fn reject_non_service_flags(cmd: &str, opts: &CommonOpts, allow_engine_flags: bool) -> bool {
+/// `--max-bytes` and the fleet flags for `serve` itself, plus
+/// `--priority` for `submit`).
+fn reject_non_service_flags(
+    cmd: &str,
+    opts: &CommonOpts,
+    allow_engine_flags: bool,
+    allow_priority: bool,
+) -> bool {
     let engine_flags_misused = !allow_engine_flags
-        && (opts.out.is_some() || opts.threads != 0 || opts.no_cache || opts.max_bytes.is_some());
+        && (opts.out.is_some()
+            || opts.threads != 0
+            || opts.no_cache
+            || opts.max_bytes.is_some()
+            || opts.fleet_flags());
+    let priority_misused = !allow_priority && opts.priority.is_some();
     if !opts.sets.is_empty()
         || opts.instr.is_some()
         || opts.bench_json.is_some()
@@ -1106,10 +1233,16 @@ fn reject_non_service_flags(cmd: &str, opts: &CommonOpts, allow_engine_flags: bo
         || opts.y.is_some()
         || opts.sharding_flags()
         || opts.store
+        || opts.clients.is_some()
+        || opts.submissions.is_some()
         || engine_flags_misused
+        || priority_misused
     {
         let allowed = if allow_engine_flags {
-            "--addr, --out, --threads, --no-cache and --max-bytes"
+            "--addr, --out, --threads, --no-cache, --max-bytes, --fleet, --max-inflight and \
+             --worker-timeout"
+        } else if allow_priority {
+            "--addr and --priority"
         } else {
             "--addr"
         };
@@ -1127,15 +1260,20 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if reject_non_service_flags("serve", &opts, true) {
+    if reject_non_service_flags("serve", &opts, true, false) {
         return 2;
     }
     match opts.positional.as_slice() {
         [] => {}
         [action] if action == "stop" => {
-            // `stop` is a pure client action: the engine flags configure
-            // a server being started, not one being stopped.
-            if opts.out.is_some() || opts.threads != 0 || opts.no_cache || opts.max_bytes.is_some()
+            // `stop` is a pure client action: the engine and fleet
+            // flags configure a server being started, not one being
+            // stopped.
+            if opts.out.is_some()
+                || opts.threads != 0
+                || opts.no_cache
+                || opts.max_bytes.is_some()
+                || opts.fleet_flags()
             {
                 eprintln!("st serve stop: only --addr applies\n{USAGE}");
                 return 2;
@@ -1158,6 +1296,16 @@ fn cmd_serve(args: &[String]) -> i32 {
             );
             return 2;
         }
+    }
+    if opts.fleet.is_some() {
+        return serve_fleet(&opts);
+    }
+    if opts.max_inflight.is_some() || opts.worker_timeout.is_some() {
+        eprintln!(
+            "st serve: --max-inflight/--worker-timeout require --fleet (a plain server's \
+             backpressure is its simulation worker pool)\n{USAGE}"
+        );
+        return 2;
     }
     let addr = opts.service_addr();
     let config = ServiceConfig {
@@ -1206,6 +1354,178 @@ fn cmd_serve(args: &[String]) -> i32 {
     0
 }
 
+/// `st serve --fleet`: run the coordinator tier — partition, dispatch,
+/// merge — instead of a local simulation service.
+fn serve_fleet(opts: &CommonOpts) -> i32 {
+    // The coordinator never simulates, so the engine flags have nothing
+    // to configure; they belong on the workers.
+    if opts.out.is_some() || opts.threads != 0 || opts.no_cache || opts.max_bytes.is_some() {
+        eprintln!(
+            "st serve --fleet: --out/--threads/--no-cache/--max-bytes configure a simulating \
+             server; set them on the workers instead\n{USAGE}"
+        );
+        return 2;
+    }
+    let workers: Vec<String> = opts
+        .fleet
+        .as_deref()
+        .unwrap_or_default()
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect();
+    if workers.is_empty() {
+        eprintln!(
+            "st serve --fleet: expected a comma-separated worker list (w1:port,w2:port)\n{USAGE}"
+        );
+        return 2;
+    }
+    let defaults = FleetConfig::default();
+    let config = FleetConfig {
+        workers,
+        max_inflight: opts.max_inflight.unwrap_or(defaults.max_inflight),
+        worker_timeout: opts.worker_timeout.map_or(defaults.worker_timeout, Duration::from_secs),
+    };
+    if config.max_inflight == 0 {
+        eprintln!(
+            "st serve --fleet: --max-inflight must be at least 1 (0 admits nothing)\n{USAGE}"
+        );
+        return 2;
+    }
+    let addr = opts.service_addr();
+    let server = match FleetServer::bind(&addr, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    service::install_sigint_handler();
+    // Same first-line contract as a plain server: scripts (and the CI
+    // gate) read the actual port from it when binding port 0.
+    println!("st serve: listening on http://{}", server.local_addr());
+    println!(
+        "st serve: fleet coordinator over {} worker(s): {}; {} submissions in flight max, \
+         {}s worker timeout",
+        config.workers.len(),
+        config.workers.join(", "),
+        config.max_inflight,
+        config.worker_timeout.as_secs()
+    );
+    println!("st serve: POST /submit streams sweeps; GET /status reports; POST /shutdown stops");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("st serve: coordinator failed: {e}");
+        return 1;
+    }
+    println!("st serve: fleet shut down gracefully: {}", server.fleet().status_json());
+    0
+}
+
+/// `st loadgen`: measured concurrent load against a running service or
+/// fleet, recorded into `BENCH_service.json`.
+fn cmd_loadgen(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st loadgen: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if !opts.sets.is_empty()
+        || opts.instr.is_some()
+        || opts.threads != 0
+        || opts.out.is_some()
+        || opts.no_cache
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.sharding_flags()
+        || opts.max_bytes.is_some()
+        || opts.store
+        || opts.fleet_flags()
+    {
+        eprintln!(
+            "st loadgen: only --addr, --clients, --submissions, --priority, --smoke and \
+             --bench-json apply\n{USAGE}"
+        );
+        return 2;
+    }
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st loadgen: expected exactly one spec file\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st loadgen: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    // Parse locally first, like `st submit`: a bad spec fails fast
+    // instead of counting as N server-side failures.
+    let spec = match SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st loadgen: {e}");
+            return 1;
+        }
+    };
+    let config = LoadgenConfig {
+        addr: opts.service_addr(),
+        clients: opts.clients.unwrap_or(if opts.smoke { 2 } else { 8 }),
+        submissions: opts.submissions.unwrap_or(if opts.smoke { 4 } else { 32 }),
+        priority: opts.priority,
+    };
+    println!(
+        "st loadgen: sweep `{}`: {} submissions over {} clients against {}{}",
+        spec.name,
+        config.submissions,
+        config.clients,
+        config.addr,
+        match config.priority {
+            Some(p) => format!(", priority {p}"),
+            None => String::new(),
+        }
+    );
+    let result = match loadgen::run(&config, &text, &mut std::io::stderr()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("st loadgen: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "st loadgen: {} ok, {} failed in {:.2}s ({:.2} submissions/s, {:.0} records/s)",
+        result.submissions,
+        result.failures,
+        result.total_seconds,
+        result.submissions_per_sec(),
+        result.submissions_per_sec() * result.records_per_submission as f64
+    );
+    println!(
+        "st loadgen: latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+        result.percentile_ms(0.50),
+        result.percentile_ms(0.90),
+        result.percentile_ms(0.99)
+    );
+    let bench_json_path =
+        opts.bench_json.clone().unwrap_or_else(|| PathBuf::from("BENCH_service.json"));
+    match artifact::update_service(&bench_json_path, &result.to_section(unix_now())) {
+        Ok(()) => println!("  [perf] {}", bench_json_path.display()),
+        Err(e) => {
+            eprintln!("st loadgen: could not write {}: {e}", bench_json_path.display());
+            return 1;
+        }
+    }
+    if result.submissions == 0 {
+        eprintln!("st loadgen: every submission failed");
+        return 1;
+    }
+    0
+}
+
 fn cmd_submit(args: &[String]) -> i32 {
     let opts = match parse_common(args) {
         Ok(o) => o,
@@ -1214,7 +1534,7 @@ fn cmd_submit(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if reject_non_service_flags("submit", &opts, false) {
+    if reject_non_service_flags("submit", &opts, false, true) {
         return 2;
     }
     let [path] = opts.positional.as_slice() else {
@@ -1242,7 +1562,7 @@ fn cmd_submit(args: &[String]) -> i32 {
     // Records go to stdout (pipe to a file for the canonical JSONL);
     // everything human-facing goes to stderr.
     let mut stdout = std::io::stdout().lock();
-    match client::submit(&addr, &text, &mut stdout) {
+    match client::submit_with_priority(&addr, &text, opts.priority, &mut stdout) {
         Ok(bytes) => {
             eprintln!(
                 "st submit: sweep `{}` streamed from {addr} ({bytes} bytes of JSONL)",
@@ -1265,7 +1585,7 @@ fn cmd_status(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if reject_non_service_flags("status", &opts, false) {
+    if reject_non_service_flags("status", &opts, false, false) {
         return 2;
     }
     if let [unexpected, ..] = opts.positional.as_slice() {
@@ -1306,6 +1626,7 @@ fn cmd_cache(args: &[String]) -> i32 {
         || opts.sharding_flags()
         || opts.addr.is_some()
         || opts.store
+        || opts.service_tier_flags()
     {
         eprintln!("st cache: only --out (and --max-bytes for `evict`) apply\n{USAGE}");
         return 2;

@@ -41,7 +41,10 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ClientError> {
 /// level; the server therefore announces the exact record count in an
 /// `X-Sweep-Records` header, and `submit` counts the records it relays
 /// and errors on any shortfall instead of silently delivering a
-/// truncated sweep.
+/// truncated sweep. When a (non-standard) server omits the header, the
+/// client independently expands the spec through the same registry and
+/// derives the expected count itself — a truncated stream is an error
+/// either way, never a silently short sweep.
 ///
 /// # Errors
 ///
@@ -49,8 +52,31 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ClientError> {
 /// non-200 response (the server's structured error message is folded
 /// into the [`ClientError`]).
 pub fn submit(addr: &str, spec_text: &str, sink: &mut dyn Write) -> Result<u64, ClientError> {
-    let reply = request(addr, "POST", "/submit", spec_text)?;
-    let expected = reply.records;
+    submit_with_priority(addr, spec_text, None, sink)
+}
+
+/// [`submit`] with an explicit scheduling priority (higher = dispatched
+/// sooner), carried as a `?priority=N` query parameter so the spec body
+/// stays byte-for-byte what `st run` reads. A plain `st serve` ignores
+/// it; a fleet coordinator orders its dispatch queue by it.
+///
+/// # Errors
+///
+/// As [`submit`].
+pub fn submit_with_priority(
+    addr: &str,
+    spec_text: &str,
+    priority: Option<u32>,
+    sink: &mut dyn Write,
+) -> Result<u64, ClientError> {
+    let path = match priority {
+        Some(p) => format!("/submit?priority={p}"),
+        None => "/submit".to_string(),
+    };
+    let reply = request(addr, "POST", &path, spec_text)?;
+    // Trust the server's X-Sweep-Records when present; otherwise expand
+    // the spec locally so truncation is still detectable.
+    let expected = reply.records.or_else(|| expected_records(spec_text));
     let mut reader = reply.reader;
     // The head arrived; from here the gaps between records are bounded
     // only by simulation time, so the body reads with no deadline (see
@@ -81,6 +107,86 @@ pub fn submit(addr: &str, spec_text: &str, sink: &mut dyn Write) -> Result<u64, 
         }
     }
     Ok(bytes)
+}
+
+/// The exact record count (`report` + `comparison` lines) a compliant
+/// server must stream for `spec_text`, derived client-side through the
+/// same axis registry the server expands with. `None` when the spec
+/// does not parse locally — the server may be newer than this client,
+/// so an unparseable spec only disables the truncation fallback; it
+/// never fails the submission on its own.
+fn expected_records(spec_text: &str) -> Option<u64> {
+    let spec = crate::spec::SweepSpec::parse(spec_text).ok()?;
+    let points = spec.points().ok()?;
+    let comparisons = crate::emit::baseline_pairing(&points).iter().flatten().count();
+    Some((points.len() + comparisons) as u64)
+}
+
+/// Fetches a fingerprint sub-range of an expanded grid from the service
+/// at `addr` (`GET /points?range=lo-hi` with the spec as the body) and
+/// hands each shard `point` record line (without its newline) to
+/// `on_record` as it arrives, in `(fingerprint, seq)` order. Returns
+/// the number of records delivered.
+///
+/// `read_timeout` bounds each read *between* records once the head has
+/// arrived (`None` = wait forever): the fleet coordinator passes a
+/// finite deadline so a wedged worker is detected and its range failed
+/// over, while simple callers can wait out arbitrarily slow points.
+/// A torn final line (no trailing newline) is never delivered; it
+/// surfaces as a record-count shortfall instead.
+///
+/// # Errors
+///
+/// Connection failures, malformed replies, non-200 responses, a record
+/// count short of the server's `X-Sweep-Records` announcement, or the
+/// first `Err` returned by `on_record` (a validation failure, folded
+/// into the [`ClientError`]).
+pub fn fetch_points(
+    addr: &str,
+    spec_text: &str,
+    range: (u64, u64),
+    read_timeout: Option<std::time::Duration>,
+    on_record: &mut dyn FnMut(&str) -> Result<(), String>,
+) -> Result<u64, ClientError> {
+    let path = format!("/points?range={}", crate::shard::format_fp_range(range.0, range.1));
+    let reply = request(addr, "GET", &path, spec_text)?;
+    let expected = reply.records;
+    let mut reader = reply.reader;
+    reader
+        .get_ref()
+        .set_read_timeout(read_timeout)
+        .map_err(|e| ClientError(format!("cannot configure connection to {addr}: {e}")))?;
+    let mut records = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ClientError(format!("point stream from {addr} interrupted: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        if !line.ends_with('\n') {
+            // A torn record at EOF: the server died mid-line. Drop it;
+            // the count check below reports the truncation.
+            break;
+        }
+        let record = line.trim_end_matches('\n');
+        if record.is_empty() {
+            continue;
+        }
+        on_record(record).map_err(|m| ClientError(format!("bad point record from {addr}: {m}")))?;
+        records += 1;
+    }
+    if let Some(expected) = expected {
+        if records != expected {
+            return err(format!(
+                "truncated point stream from {addr}: got {records} of {expected} records \
+                 (did the worker die mid-range?)"
+            ));
+        }
+    }
+    Ok(records)
 }
 
 /// Fetches the service's status counters: the raw one-line JSON body of
@@ -256,5 +362,89 @@ mod tests {
         let addr = fake_server("not http at all\r\n");
         let e = submit(&addr, "name = \"t\"", &mut Vec::new()).expect_err("malformed head");
         assert!(e.0.contains("malformed reply"), "{e}");
+    }
+
+    /// 1 point, baseline disabled => exactly 1 record expected.
+    const ONE_POINT_SPEC: &str = "name = \"t\"\nworkloads = [\"go\"]\nbaseline = false\n\
+                                  axis.instructions = [400]\n";
+
+    #[test]
+    fn submit_detects_truncation_even_without_the_records_header() {
+        // A non-compliant server omits X-Sweep-Records and dies before
+        // streaming anything: the client derives the expected count from
+        // the spec itself and still reports a hard error.
+        let addr = fake_server("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n");
+        let e = submit(&addr, ONE_POINT_SPEC, &mut Vec::new()).expect_err("local fallback");
+        assert!(e.0.contains("got 0 of 1 records"), "{e}");
+
+        // The same headerless server delivering the full count passes.
+        let addr =
+            fake_server("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"kind\":\"report\"}\n");
+        let mut out = Vec::new();
+        submit(&addr, ONE_POINT_SPEC, &mut out).expect("complete headerless stream");
+        assert_eq!(out, b"{\"kind\":\"report\"}\n");
+
+        // An unparseable spec disables the fallback rather than failing:
+        // the server may speak a newer spec dialect than this client.
+        let addr = fake_server("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n");
+        submit(&addr, "some future spec dialect", &mut Vec::new())
+            .expect("no fallback for unparseable specs");
+    }
+
+    #[test]
+    fn backpressure_replies_surface_as_structured_client_errors() {
+        let addr = fake_server(
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+             Connection: close\r\n\r\n\
+             {\"kind\":\"error\",\"error\":\"fleet at capacity: 4 submissions in flight (limit 4); retry later\"}",
+        );
+        let e = submit(&addr, ONE_POINT_SPEC, &mut Vec::new()).expect_err("backpressure");
+        assert!(e.0.contains("replied 429"), "{e}");
+        assert!(e.0.contains("fleet at capacity"), "{e}");
+        assert!(e.0.contains("retry later"), "{e}");
+    }
+
+    #[test]
+    fn fetch_points_delivers_records_and_detects_short_and_torn_streams() {
+        let record = "{\"kind\":\"point\",\"seq\":0,\"fp\":\"00\",\"hash\":\"00\",\"report\":{}}";
+        let full = format!(
+            "HTTP/1.1 200 OK\r\nX-Sweep-Records: 2\r\nConnection: close\r\n\r\n{record}\n{record}\n"
+        );
+        let addr = fake_server(Box::leak(full.into_boxed_str()));
+        let mut got = Vec::new();
+        let n = fetch_points(&addr, ONE_POINT_SPEC, (0, u64::MAX), None, &mut |line| {
+            got.push(line.to_string());
+            Ok(())
+        })
+        .expect("complete range");
+        assert_eq!(n, 2);
+        assert_eq!(got, vec![record.to_string(), record.to_string()]);
+
+        // Promised 3, delivered 2 — plus a torn half-record that must
+        // never reach the callback.
+        let short = format!(
+            "HTTP/1.1 200 OK\r\nX-Sweep-Records: 3\r\nConnection: close\r\n\r\n{record}\n{record}\n{{\"kind\":\"poi"
+        );
+        let addr = fake_server(Box::leak(short.into_boxed_str()));
+        let mut delivered = 0;
+        let e = fetch_points(&addr, ONE_POINT_SPEC, (0, u64::MAX), None, &mut |_| {
+            delivered += 1;
+            Ok(())
+        })
+        .expect_err("truncation detected");
+        assert!(e.0.contains("got 2 of 3 records"), "{e}");
+        assert_eq!(delivered, 2, "torn tail never delivered");
+
+        // A callback rejection (tamper detection upstream) aborts with
+        // its message folded in.
+        let addr = fake_server(
+            "HTTP/1.1 200 OK\r\nX-Sweep-Records: 1\r\nConnection: close\r\n\r\nnonsense\n",
+        );
+        let e = fetch_points(&addr, ONE_POINT_SPEC, (0, u64::MAX), None, &mut |_| {
+            Err("not a point record".to_string())
+        })
+        .expect_err("callback rejection");
+        assert!(e.0.contains("bad point record"), "{e}");
+        assert!(e.0.contains("not a point record"), "{e}");
     }
 }

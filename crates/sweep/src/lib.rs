@@ -48,7 +48,19 @@
 //!   local `st run`;
 //! * **[`client`](mod@client)** — the matching dependency-free client
 //!   (`st submit` / `st status`), which pipes the streamed records to
-//!   any sink;
+//!   any sink, verifies stream completeness against the announced
+//!   record count (or a locally derived one), and fetches partial grids
+//!   (`GET /points?range=lo-hi`);
+//! * **[`fleet`](mod@fleet)** — the coordinator tier behind
+//!   `st serve --fleet`: partitions each submission by fingerprint-range
+//!   [`ShardPlan`] across remote `st serve` workers, verifies and merges
+//!   the returned streams through [`shard::merge`] (byte-identical to a
+//!   local run), fails dead workers' unfinished ranges over to
+//!   survivors, and applies admission control (structured `429`
+//!   backpressure) plus per-request priorities;
+//! * **[`loadgen`](mod@loadgen)** — the measured-load harness behind
+//!   `st loadgen`: concurrent submission replay with throughput and
+//!   p50/p90/p99 latency recorded into `BENCH_service.json`;
 //! * **[`plot`]** — ASCII charts over cached sweep JSONL;
 //! * **[`artifact`]** — the `BENCH_sweep.json` writer (repro +
 //!   core_bench sections, updated independently);
@@ -56,8 +68,10 @@
 //!   parallel pass, `st run spec.toml` executes ad-hoc sweeps (`--set`
 //!   overrides any axis, `--shard i/n` runs one shard), `st shard`
 //!   spawns a local work-stealing worker fleet, `st merge` reassembles
-//!   shard outputs, `st serve` runs the long-lived sweep service,
-//!   `st submit`/`st status` talk to it, `st bench` measures the hot
+//!   shard outputs, `st serve` runs the long-lived sweep service
+//!   (`--fleet` turns it into a coordinator over remote workers),
+//!   `st submit`/`st status` talk to it, `st loadgen` measures it under
+//!   concurrent load, `st bench` measures the hot
 //!   loop and gates determinism, `st plot` charts cached JSONL,
 //!   `st list` shows what is available and `st cache` inspects,
 //!   migrates, compacts and size-bounds the result store.
@@ -93,8 +107,10 @@ pub mod client;
 pub mod emit;
 pub mod engine;
 pub mod figures;
+pub mod fleet;
 pub mod job;
 pub mod json;
+pub mod loadgen;
 pub mod logstore;
 pub mod persist;
 pub mod plot;
@@ -106,7 +122,9 @@ pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};
 pub use cache::{CacheStats, ResultCache};
 pub use client::ClientError;
 pub use engine::{EngineStats, SweepEngine};
+pub use fleet::{Fleet, FleetConfig, FleetServer};
 pub use job::{EstimatorChoice, JobSpec};
+pub use loadgen::{LoadgenConfig, LoadgenResult};
 pub use logstore::{LoadStats, LogStore, StoreStats};
 pub use persist::{PersistentCache, Store};
 pub use service::{Server, ServiceConfig, SweepService};

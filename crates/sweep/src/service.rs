@@ -223,6 +223,7 @@ pub struct SweepService {
     submissions: AtomicU64,
     active_submissions: AtomicU64,
     points_served: AtomicU64,
+    range_requests: AtomicU64,
     max_store_bytes: Option<u64>,
 }
 
@@ -246,6 +247,7 @@ impl SweepService {
             submissions: AtomicU64::new(0),
             active_submissions: AtomicU64::new(0),
             points_served: AtomicU64::new(0),
+            range_requests: AtomicU64::new(0),
             max_store_bytes: config.max_store_bytes,
         };
         if service.max_store_bytes.is_some() {
@@ -487,6 +489,108 @@ impl SweepService {
         Ok(())
     }
 
+    /// Serves a fingerprint sub-range of an expanded grid into `sink` as
+    /// shard `point` records ([`crate::shard::point_record`]): one line
+    /// per grid member whose job fingerprint falls in `[lo, hi]`, in
+    /// `(fingerprint, seq)` order — exactly
+    /// [`crate::shard::ShardPlan::members_in_range`] order, which is why
+    /// a prefix of this stream always corresponds to a well-defined
+    /// *remaining* sub-range a fleet coordinator can resubmit elsewhere
+    /// after a mid-stream death. Computation is cache-first, parallel
+    /// and de-duplicated exactly like a full submission; bytes are
+    /// emitted strictly in order, each record flushed as its prefix
+    /// completes.
+    ///
+    /// `members` are grid indices (`seq` values), as returned by
+    /// [`crate::shard::ShardPlan::members_in_range`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any `sink` write error (a disconnected client, typically).
+    pub fn stream_points(
+        &self,
+        points: &[SweepPoint],
+        members: &[usize],
+        sink: &mut dyn Write,
+    ) -> std::io::Result<()> {
+        self.range_requests.fetch_add(1, Ordering::Relaxed);
+        self.active_submissions.fetch_add(1, Ordering::Relaxed);
+        // Same pin-stream-touch-evict discipline as a full submission:
+        // entries this range is about to read can never be evicted from
+        // under it by a concurrent budget enforcement.
+        let fingerprints: Vec<u64> = members.iter().map(|&i| points[i].job.fingerprint()).collect();
+        let pins = self.engine.result_store().and_then(|s| s.pin(&fingerprints));
+        let result = self.stream_points_inner(points, members, sink);
+        drop(pins);
+        if let Some(store) = self.engine.result_store() {
+            store.touch_all(&fingerprints);
+        }
+        self.active_submissions.fetch_sub(1, Ordering::Relaxed);
+        self.enforce_store_budget();
+        result
+    }
+
+    fn stream_points_inner(
+        &self,
+        points: &[SweepPoint],
+        members: &[usize],
+        sink: &mut dyn Write,
+    ) -> std::io::Result<()> {
+        let mut records: Vec<Option<String>> = vec![None; members.len()];
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let workers = self.workers.min(members.len()).max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, String)>();
+
+        // Same in-order writer shape as `stream_inner`: dropping the
+        // receiver on a write error is what cancels the workers of a
+        // vanished client.
+        let write_in_order = |rx: std::sync::mpsc::Receiver<(usize, String)>,
+                              records: &mut [Option<String>],
+                              sink: &mut dyn Write|
+         -> std::io::Result<()> {
+            let mut emitted = 0;
+            while let Ok((slot, line)) = rx.recv() {
+                records[slot] = Some(line);
+                while emitted < members.len() && records[emitted].is_some() {
+                    let line = records[emitted].as_ref().expect("slot just checked");
+                    sink.write_all(line.as_bytes())?;
+                    sink.flush()?;
+                    self.points_served.fetch_add(1, Ordering::Relaxed);
+                    emitted += 1;
+                }
+            }
+            Ok(())
+        };
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, cancelled) = (&next, &cancelled);
+                scope.spawn(move || loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seq) = members.get(slot) else { break };
+                    let point = &points[seq];
+                    let report = self.compute(&point.job);
+                    let line = crate::shard::point_record(seq, point, &report);
+                    if tx.send((slot, line)).is_err() {
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let result = write_in_order(rx, &mut records, sink);
+            if result.is_err() {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            result
+        })
+    }
+
     /// The `GET /status` payload: one line of JSON over the live
     /// counters (engine cache + service totals + result-store
     /// accounting, including eviction/compaction totals).
@@ -516,10 +620,11 @@ impl SweepService {
             None => ("null".to_string(), "null".to_string()),
         };
         format!(
-            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{},\"store\":{}}}",
+            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"range_requests\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{},\"store\":{}}}",
             self.workers,
             self.submissions.load(Ordering::Relaxed),
             self.active_submissions.load(Ordering::Relaxed),
+            self.range_requests.load(Ordering::Relaxed),
             in_flight,
             self.points_served.load(Ordering::Relaxed),
             stats.simulated,
@@ -593,9 +698,26 @@ impl Server {
     /// (fd exhaustion, aborted handshakes) is logged and retried, so
     /// none of them stop the server.
     pub fn run(&self) -> std::io::Result<()> {
-        let active = Arc::new((Mutex::new(0usize), Condvar::new()));
-        while !self.shutdown.load(Ordering::SeqCst) && !SIGINT_RECEIVED.load(Ordering::SeqCst) {
-            match self.listener.accept() {
+        serve_connections(&self.listener, &self.shutdown, &|stream| {
+            handle_connection(stream, &self.service, &self.shutdown);
+        })
+    }
+}
+
+/// The accept-poll-drain loop shared by [`Server`] and the fleet
+/// coordinator ([`crate::fleet::FleetServer`]): accepts until `shutdown`
+/// (or SIGINT) is raised, hands each connection to `handle` on its own
+/// scoped thread, then waits for every handler to finish before
+/// returning — the graceful drain. A panicking handler (a simulator bug
+/// surfacing mid-stream) is caught and logged, never fatal.
+pub(crate) fn serve_connections(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    handle: &(dyn Fn(TcpStream) + Sync),
+) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::SeqCst) && !SIGINT_RECEIVED.load(Ordering::SeqCst) {
+            match listener.accept() {
                 Ok((stream, _peer)) => {
                     // The listener is non-blocking for the poll loop;
                     // connection I/O itself must block normally — but
@@ -611,25 +733,14 @@ impl Server {
                     {
                         continue;
                     }
-                    let service = Arc::clone(&self.service);
-                    let shutdown = Arc::clone(&self.shutdown);
-                    // Decrement through a drop guard so a panicking
-                    // handler (a simulator bug surfacing mid-stream)
-                    // still releases its slot and cannot hang the
-                    // shutdown drain below.
-                    struct ConnectionSlot(Arc<(Mutex<usize>, Condvar)>);
-                    impl Drop for ConnectionSlot {
-                        fn drop(&mut self) {
-                            let (count, drained) = &*self.0;
-                            *count.lock().expect("active count poisoned") -= 1;
-                            drained.notify_all();
+                    scope.spawn(move || {
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handle(stream);
+                        }))
+                        .is_err()
+                        {
+                            eprintln!("sweep service: connection handler panicked (bug)");
                         }
-                    }
-                    *active.0.lock().expect("active count poisoned") += 1;
-                    let slot = ConnectionSlot(Arc::clone(&active));
-                    std::thread::spawn(move || {
-                        let _slot = slot;
-                        handle_connection(stream, &service, &shutdown);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -645,30 +756,29 @@ impl Server {
                 }
             }
         }
-        let (count, drained) = &*active;
-        let mut n = count.lock().expect("active count poisoned");
-        while *n > 0 {
-            n = drained.wait(n).expect("active count poisoned");
-        }
+        // Scope exit joins every connection thread: no stream is ever
+        // cut mid-record by shutdown.
         Ok(())
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
 // The wire protocol: minimal HTTP/1.1 + newline-delimited JSON.
 // ---------------------------------------------------------------------
 
-/// One parsed request: method, path and the (Content-Length-delimited)
-/// body.
-struct Request {
-    method: String,
-    path: String,
-    body: String,
+/// One parsed request: method, query-stripped path, raw query string
+/// (empty when absent) and the (Content-Length-delimited) body. Shared
+/// with the fleet coordinator, which speaks the same wire protocol.
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: String,
+    pub(crate) body: String,
 }
 
 /// Reads one HTTP/1.1 request. Errors are `(status code, message)`
 /// pairs ready for [`respond_error`].
-fn read_request(stream: &TcpStream) -> Result<Request, (u16, String)> {
+pub(crate) fn read_request(stream: &TcpStream) -> Result<Request, (u16, String)> {
     let bad = |msg: &str| (400, msg.to_string());
     // The whole request — head *and* body — reads through a hard byte
     // cap, so `read_line` can never grow unboundedly on newline-free
@@ -684,7 +794,11 @@ fn read_request(stream: &TcpStream) -> Result<Request, (u16, String)> {
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
         return Err(bad("malformed request line (expected `METHOD /path HTTP/1.1`)"));
     };
-    let (method, path) = (method.to_string(), path.to_string());
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (path.to_string(), String::new()),
+    };
+    let method = method.to_string();
 
     let mut content_length = 0usize;
     loop {
@@ -712,23 +826,25 @@ fn read_request(stream: &TcpStream) -> Result<Request, (u16, String)> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| bad(&format!("truncated request body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| bad("request body is not valid UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, query, body })
 }
 
 /// The reason phrase for the handful of status codes the server emits.
-fn reason(status: u16) -> &'static str {
+pub(crate) fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 /// Writes a complete (Content-Length-delimited) JSON reply.
-fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+pub(crate) fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
     write!(
         stream,
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -738,7 +854,11 @@ fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Res
 }
 
 /// Writes a structured error reply: `{"kind":"error","error":"…"}`.
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+pub(crate) fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+) -> std::io::Result<()> {
     let body = format!("{{\"kind\":\"error\",\"error\":\"{}\"}}", emit::json_escape(message));
     respond_json(stream, status, &body)
 }
@@ -756,6 +876,12 @@ fn handle_connection(mut stream: TcpStream, service: &SweepService, shutdown: &A
     };
     let outcome = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/submit") => handle_submit(&mut stream, service, &request.body),
+        // GET-with-body is unconventional but unambiguous under our
+        // Content-Length framing; POST is accepted too so strict
+        // clients have a conventional spelling.
+        ("GET" | "POST", "/points") => {
+            handle_points(&mut stream, service, &request.query, &request.body)
+        }
         ("GET", "/status") => respond_json(&mut stream, 200, &service.status_json()),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
@@ -767,7 +893,10 @@ fn handle_connection(mut stream: TcpStream, service: &SweepService, shutdown: &A
         (_, path) => respond_error(
             &mut stream,
             404,
-            &format!("no endpoint {path} (try POST /submit, GET /status, POST /shutdown)"),
+            &format!(
+                "no endpoint {path} (try POST /submit, GET /points?range=lo-hi, GET /status, \
+                 POST /shutdown)"
+            ),
         ),
     };
     // The peer hanging up mid-stream is its own problem, not ours.
@@ -804,6 +933,51 @@ fn handle_submit(
     )?;
     let mut sink = BufWriter::new(stream);
     service.stream_with_pairing(&points, &pairing, &mut sink)?;
+    sink.flush()
+}
+
+/// `GET /points?range=<lo>-<hi>`: the body is a sweep spec (same bytes
+/// as `/submit`); the reply streams shard `point` records for every grid
+/// member whose job fingerprint falls in the inclusive hex range, in
+/// `(fingerprint, seq)` order. `X-Sweep-Records` announces the exact
+/// member count so the requester can detect a truncated stream; the
+/// fleet coordinator's failover depends on it.
+fn handle_points(
+    stream: &mut TcpStream,
+    service: &SweepService,
+    query: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let Some(range) = query.split('&').find_map(|kv| kv.strip_prefix("range=")) else {
+        return respond_error(
+            stream,
+            400,
+            "missing `range=<lo>-<hi>` query parameter (two 16-hex-digit fingerprints)",
+        );
+    };
+    let (lo, hi) = match crate::shard::parse_fp_range(range) {
+        Ok(r) => r,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let spec = match SweepSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let points = match spec.points() {
+        Ok(points) => points,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let fingerprints: Vec<u64> = points.iter().map(|p| p.job.fingerprint()).collect();
+    let members = crate::shard::ShardPlan::members_in_range(&fingerprints, lo, hi);
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nX-Sweep-Name: {}\r\nX-Sweep-Points: {}\r\nX-Sweep-Records: {}\r\nConnection: close\r\n\r\n",
+        spec.name.replace(['\r', '\n'], " "),
+        points.len(),
+        members.len(),
+    )?;
+    let mut sink = BufWriter::new(stream);
+    service.stream_points(&points, &members, &mut sink)?;
     sink.flush()
 }
 
@@ -951,6 +1125,87 @@ mod tests {
         assert!(status.contains("\"store\":{\"kind\":\"segment-log\""), "{status}");
         assert!(status.contains("\"evictions\":"), "{status}");
         let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn points_endpoint_streams_the_requested_fingerprint_range() {
+        let config = ServiceConfig { no_cache: true, threads: 2, ..ServiceConfig::default() };
+        let (_, addr, handle) = start(&config);
+
+        let spec = SweepSpec::parse(TINY_SPEC).expect("spec");
+        let points = spec.points().expect("points");
+        let fps: Vec<u64> = points.iter().map(|p| p.job.fingerprint()).collect();
+        // Ask for the lower half of the fingerprint space: a strict
+        // subset of the grid.
+        let mut sorted = fps.clone();
+        sorted.sort_unstable();
+        let (lo, hi) = (sorted[0], sorted[1]);
+        let members = crate::shard::ShardPlan::members_in_range(&fps, lo, hi);
+        assert_eq!(members.len(), 2, "half the 4-point grid");
+
+        let request = format!(
+            "GET /points?range={} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            crate::shard::format_fp_range(lo, hi),
+            TINY_SPEC.len(),
+            TINY_SPEC,
+        );
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("X-Sweep-Records: 2"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).expect("body");
+
+        // The body is exactly the shard point records of the two
+        // members, in (fingerprint, seq) order.
+        let engine = SweepEngine::new(1);
+        let expected: String = members
+            .iter()
+            .map(|&seq| {
+                crate::shard::point_record(seq, &points[seq], &engine.run_one(&points[seq].job))
+            })
+            .collect();
+        assert_eq!(body, expected, "range stream == locally rendered point records");
+
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
+    }
+
+    #[test]
+    fn points_endpoint_rejects_bad_ranges() {
+        let config = ServiceConfig { no_cache: true, ..ServiceConfig::default() };
+        let (_, addr, handle) = start(&config);
+        let raw = |request: String| -> String {
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            stream.write_all(request.as_bytes()).expect("write");
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).expect("read");
+            reply
+        };
+        let body = TINY_SPEC;
+        let with_query = |query: &str| {
+            format!("GET /points{query} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+        };
+
+        let reply = raw(with_query(""));
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("missing `range="), "{reply}");
+        let reply = raw(with_query("?range=zz-ff"));
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = raw(with_query("?range=ffffffffffffffff-0000000000000000"));
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        // A valid range with a bogus spec still gets a structured 400.
+        let reply = raw(
+            "GET /points?range=0000000000000000-ffffffffffffffff HTTP/1.1\r\n\
+             Content-Length: 9\r\n\r\nbogus = 1"
+                .to_string(),
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("\"kind\":\"error\""), "{reply}");
+
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
     }
 
     #[test]

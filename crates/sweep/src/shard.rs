@@ -106,6 +106,9 @@ pub struct ShardPlan {
     home: Vec<usize>,
     /// Per shard: owned point indices, ascending by `(fingerprint, index)`.
     members: Vec<Vec<usize>>,
+    /// Per shard: the inclusive `[lo, hi]` fingerprint interval it owns
+    /// (`None` for surplus shards with no points).
+    ranges: Vec<Option<(u64, u64)>>,
 }
 
 impl ShardPlan {
@@ -124,6 +127,7 @@ impl ShardPlan {
         let extra = fingerprints.len() % of;
         let mut home = vec![0usize; fingerprints.len()];
         let mut members = Vec::with_capacity(of);
+        let mut ranges = Vec::with_capacity(of);
         let mut cursor = 0;
         for shard in 0..of {
             let size = base + usize::from(shard < extra);
@@ -131,10 +135,14 @@ impl ShardPlan {
             for &i in &chunk {
                 home[i] = shard;
             }
+            ranges.push(match (chunk.first(), chunk.last()) {
+                (Some(&first), Some(&last)) => Some((fingerprints[first], fingerprints[last])),
+                _ => None,
+            });
             members.push(chunk);
             cursor += size;
         }
-        Ok(ShardPlan { of, home, members })
+        Ok(ShardPlan { of, home, members, ranges })
     }
 
     /// A plan over an already-expanded point list.
@@ -165,6 +173,66 @@ impl ShardPlan {
     #[must_use]
     pub fn members(&self, shard: usize) -> &[usize] {
         &self.members[shard]
+    }
+
+    /// The inclusive `[lo, hi]` fingerprint interval shard `shard` owns,
+    /// or `None` for a surplus shard with no points. Because shards are
+    /// contiguous chunks of the fingerprint-sorted order, every owned
+    /// point's fingerprint falls inside this interval — it is the range
+    /// the fleet coordinator dispatches to a remote worker's `/points`
+    /// endpoint.
+    ///
+    /// Note that two adjacent shards' intervals can share an endpoint
+    /// when points with identical fingerprints straddle the chunk
+    /// boundary; range-addressed execution then overlaps on those tied
+    /// points, which is safe because identical fingerprints mean
+    /// identical jobs and therefore bit-identical records (which
+    /// [`merge`] tolerates).
+    #[must_use]
+    pub fn range(&self, shard: usize) -> Option<(u64, u64)> {
+        self.ranges[shard]
+    }
+
+    /// Every point index whose fingerprint falls inside the inclusive
+    /// `[lo, hi]` interval, sorted by `(fingerprint, index)` — the exact
+    /// order a `/points` range request streams them in. A pure function
+    /// of the fingerprints, so the coordinator and a remote worker that
+    /// expanded the same spec derive the same list independently.
+    #[must_use]
+    pub fn members_in_range(fingerprints: &[u64], lo: u64, hi: u64) -> Vec<usize> {
+        let mut seqs: Vec<usize> =
+            (0..fingerprints.len()).filter(|&i| (lo..=hi).contains(&fingerprints[i])).collect();
+        seqs.sort_by_key(|&i| (fingerprints[i], i));
+        seqs
+    }
+}
+
+/// Formats an inclusive fingerprint interval as the wire form
+/// `<lo hex16>-<hi hex16>` used by `/points?range=…`.
+#[must_use]
+pub fn format_fp_range(lo: u64, hi: u64) -> String {
+    format!("{lo:016x}-{hi:016x}")
+}
+
+/// Parses the `/points?range=…` wire form back into `(lo, hi)`.
+///
+/// ```
+/// use st_sweep::shard::{format_fp_range, parse_fp_range};
+///
+/// let (lo, hi) = parse_fp_range(&format_fp_range(7, 0xffee))?;
+/// assert_eq!((lo, hi), (7, 0xffee));
+/// # Ok::<(), st_sweep::ShardError>(())
+/// ```
+pub fn parse_fp_range(arg: &str) -> Result<(u64, u64), ShardError> {
+    let parsed = arg.split_once('-').and_then(|(lo, hi)| {
+        let lo = u64::from_str_radix(lo.trim(), 16).ok()?;
+        let hi = u64::from_str_radix(hi.trim(), 16).ok()?;
+        Some((lo, hi))
+    });
+    match parsed {
+        Some((lo, hi)) if lo <= hi => Ok((lo, hi)),
+        Some(_) => err(format!("fingerprint range `{arg}` is inverted (lo > hi)")),
+        None => err(format!("expected a fingerprint range `<lo hex>-<hi hex>`, got `{arg}`")),
     }
 }
 
@@ -629,15 +697,25 @@ fn parse_header(line: &str) -> Result<Header, ShardError> {
     Ok(header)
 }
 
-/// One verified point record.
-struct MergedRecord {
-    seq: usize,
+/// One verified point record: a `point` line that parsed, sits at its
+/// claimed grid position (fingerprint check) and hashes to its claimed
+/// bytes (tamper check).
+#[derive(Debug)]
+pub struct MergedRecord {
+    /// The point's position in the canonical expanded grid.
+    pub seq: usize,
     /// Raw report bytes, for bit-identity checks across overlaps.
-    report_json: String,
-    report: SimReport,
+    pub report_json: String,
+    /// The decoded report.
+    pub report: SimReport,
 }
 
-fn parse_record(line: &str, points: &[SweepPoint]) -> Result<MergedRecord, ShardError> {
+/// Parses and verifies one `point` record line against the expanded
+/// grid — the same per-record checks [`merge`] runs (position,
+/// integrity hash, workload/experiment identity). The fleet coordinator
+/// applies it to every record a remote worker streams back, so a
+/// confused or corrupted worker is caught at ingest, not at merge time.
+pub fn parse_record(line: &str, points: &[SweepPoint]) -> Result<MergedRecord, ShardError> {
     // The raw report substring is the ground truth for hashing and
     // overlap comparison; the writer guarantees the `"report":` key is
     // unique in the line (everything before it is fixed-shape hex/ints).
@@ -752,6 +830,35 @@ mod tests {
         let ties = ShardPlan::new(&[7, 7, 7, 7], 2).expect("ties");
         assert_eq!(ties.members(0), &[0, 1]);
         assert_eq!(ties.members(1), &[2, 3]);
+    }
+
+    #[test]
+    fn plan_ranges_cover_members_and_round_trip_the_wire_form() {
+        let fps = [90u64, 10, 70, 30, 50];
+        let plan = ShardPlan::new(&fps, 2).expect("plan");
+        // Sorted fps: 10 30 50 | 70 90.
+        assert_eq!(plan.range(0), Some((10, 50)));
+        assert_eq!(plan.range(1), Some((70, 90)));
+        let surplus = ShardPlan::new(&[5], 3).expect("surplus");
+        assert_eq!(surplus.range(0), Some((5, 5)));
+        assert_eq!(surplus.range(1), None, "empty shard has no range");
+
+        // members_in_range reproduces the plan's member lists from the
+        // range alone — what lets a remote worker derive the same work.
+        for shard in 0..2 {
+            let (lo, hi) = plan.range(shard).expect("non-empty");
+            assert_eq!(ShardPlan::members_in_range(&fps, lo, hi), plan.members(shard));
+        }
+        // Tied fingerprints at a chunk boundary overlap both ranges.
+        let ties = ShardPlan::new(&[7, 7, 7, 7], 2).expect("ties");
+        let (lo0, hi0) = ties.range(0).expect("range 0");
+        assert_eq!(ShardPlan::members_in_range(&[7, 7, 7, 7], lo0, hi0), &[0, 1, 2, 3]);
+
+        let (lo, hi) = parse_fp_range(&format_fp_range(10, 50)).expect("round trip");
+        assert_eq!((lo, hi), (10, 50));
+        assert!(parse_fp_range("50-10").is_err(), "inverted range");
+        assert!(parse_fp_range("nonsense").is_err());
+        assert!(parse_fp_range("10").is_err(), "no dash");
     }
 
     #[test]
