@@ -27,7 +27,13 @@ impl Core {
                 break;
             }
             let (_, mut e) = self.ruu.pop_front().expect("checked non-empty");
-            debug_assert!(!e.d.wrong_path, "wrong-path instruction reached commit");
+            let h = e.h;
+            let ev = self.ev;
+            let (op, dest, seq, pc, mem_addr) = {
+                let d = self.slab.get(h);
+                debug_assert!(!d.wrong_path, "wrong-path instruction reached commit");
+                (d.op, d.dest, d.seq, d.pc, d.mem_addr)
+            };
             // A committing entry cannot still wait on a producer (in-order
             // commit: its producers retired first, and their writeback
             // broadcast cleared the wait) — so no dependant bits linger.
@@ -35,52 +41,54 @@ impl Core {
 
             // Store data is written to the cache at commit (squashed stores
             // never touch memory).
-            if e.d.op == OpClass::Store {
-                let addr = e.d.mem_addr.expect("store carries an address");
+            if op == OpClass::Store {
+                let addr = mem_addr.expect("store carries an address");
                 let res = self.mem.access_data(addr, true);
                 self.activity.add(Unit::DCache, 1);
-                e.d.ledger.charge(Unit::DCache, self.ev[Unit::DCache.index()]);
+                self.slab.get_mut(h).ledger.charge(Unit::DCache, ev[Unit::DCache.index()]);
                 if res.l2_accessed {
                     self.activity.add(Unit::DCache2, 1);
-                    e.d.ledger.charge(Unit::DCache2, self.ev[Unit::DCache2.index()]);
+                    self.slab.get_mut(h).ledger.charge(Unit::DCache2, ev[Unit::DCache2.index()]);
                 }
             }
             // Architectural register write.
-            if e.d.dest.is_some() {
+            if dest.is_some() {
                 self.activity.add(Unit::Regfile, 1);
-                e.d.ledger.charge(Unit::Regfile, self.ev[Unit::Regfile.index()]);
+                self.slab.get_mut(h).ledger.charge(Unit::Regfile, ev[Unit::Regfile.index()]);
             }
 
             // Trainer updates: only committed (correct-path) branches train
             // the tables, so wrong paths cannot corrupt them.
-            if e.d.is_cond_branch() {
-                let dir_correct = e.d.pred_taken == e.d.true_taken;
+            if op == OpClass::Branch {
+                let d = self.slab.get(h);
+                let dir_correct = d.pred_taken == d.true_taken;
                 self.bstats.record(dir_correct);
-                if let Some(conf) = e.d.confidence {
+                if let Some(conf) = d.confidence {
                     self.cstats.record(conf, dir_correct);
                 }
-                let pred = st_bpred::Prediction { taken: e.d.pred_taken, weak: false };
-                self.predictor.update(e.d.pc, e.d.hist_at_predict, e.d.true_taken, e.d.pred_taken);
-                self.estimator.update(e.d.pc, e.d.hist_at_predict, pred, dir_correct);
-                if e.d.true_taken {
-                    self.btb.install(e.d.pc, e.d.true_next);
+                let pred = st_bpred::Prediction { taken: d.pred_taken, weak: false };
+                self.predictor.update(d.pc, d.hist_at_predict, d.true_taken, d.pred_taken);
+                self.estimator.update(d.pc, d.hist_at_predict, pred, dir_correct);
+                if d.true_taken {
+                    self.btb.install(d.pc, d.true_next);
                 }
                 self.perf.branches_committed += 1;
                 if !dir_correct {
                     self.perf.mispredicts_committed += 1;
                 }
-            } else if e.d.op == OpClass::Jump {
-                self.btb.install(e.d.pc, e.d.true_next);
+            } else if op == OpClass::Jump {
+                let true_next = self.slab.get(h).true_next;
+                self.btb.install(pc, true_next);
             }
 
             // Free the rename mapping if this instruction is still the
             // youngest producer of its destination.
-            if let Some(d) = e.d.dest {
-                self.rename.clear_if(d, e.d.seq);
+            if let Some(d) = dest {
+                self.rename.clear_if(d, seq);
             }
             // Retire the LSQ entry.
-            if e.d.op.is_mem() {
-                debug_assert_eq!(self.lsq.front().map(|l| l.seq), Some(e.d.seq));
+            if op.is_mem() {
+                debug_assert_eq!(self.lsq.front().map(|l| l.seq), Some(seq));
                 let (lslot, l) = self.lsq.pop_front().expect("LSQ head present");
                 if l.is_store {
                     self.lsq_unissued_stores.clear(lslot);
@@ -91,11 +99,13 @@ impl Core {
                 self.checkpoints.release(cp);
             }
 
-            self.account.settle(&e.d.ledger, InstrFate::Committed);
+            self.account.settle(&self.slab.get(h).ledger, InstrFate::Committed);
             self.perf.committed += 1;
             if let Some(trace) = &mut self.commit_trace {
-                trace.push(e.d.pc);
+                trace.push(pc);
             }
+            // The body retires in place; only the handle is recycled.
+            self.slab.release(h);
         }
     }
 
@@ -118,20 +128,21 @@ impl Core {
             // (and its slot reused): only the original occupant — same
             // never-reused sequence number — completes here.
             match self.ruu.get(slot) {
-                Some(e) if e.d.seq == seq => {}
+                Some(e) if e.seq == seq => {}
                 _ => continue,
             }
             let e = self.ruu.get_mut(slot).expect("live slot");
             e.completed = true;
-            let d_dest = e.d.dest;
+            let h = e.h;
+            let ev = self.ev;
+            let d_dest = self.slab.get(h).dest;
 
             // Result broadcast: wake dependants.
             self.activity.add(Unit::Window, 1);
-            e.d.ledger.charge(Unit::Window, self.ev[Unit::Window.index()]);
+            self.slab.get_mut(h).ledger.charge(Unit::Window, ev[Unit::Window.index()]);
             if d_dest.is_some() {
                 self.activity.add(Unit::ResultBus, 1);
-                let e = self.ruu.get_mut(slot).expect("live slot");
-                e.d.ledger.charge(Unit::ResultBus, self.ev[Unit::ResultBus.index()]);
+                self.slab.get_mut(h).ledger.charge(Unit::ResultBus, ev[Unit::ResultBus.index()]);
                 // One pass over this producer's dependant mask instead of
                 // a window walk: clear the matching source waits and raise
                 // request lines for entries whose operands are now ready.
@@ -153,9 +164,11 @@ impl Core {
             }
 
             // Branch resolution.
-            let e = self.ruu.get(slot).expect("live slot");
-            if e.d.is_cond_branch() {
-                let mispredicted = e.d.mispredicted();
+            let (is_cond, mispredicted) = {
+                let d = self.slab.get(h);
+                (d.is_cond_branch(), d.mispredicted())
+            };
+            if is_cond {
                 self.controller.on_branch_resolved(seq, mispredicted);
                 if mispredicted {
                     self.recover(slot, seq);
@@ -171,21 +184,23 @@ impl Core {
     fn recover(&mut self, slot: usize, seq: SeqNum) {
         self.perf.recoveries += 1;
         let branch = self.ruu.get(slot).expect("branch slot live");
-        let true_next = branch.d.true_next;
-        let true_taken = branch.d.true_taken;
-        let was_wrong_path = branch.d.wrong_path;
+        let (true_next, true_taken, was_wrong_path, hist_checkpoint) = {
+            let d = self.slab.get(branch.h);
+            (d.true_next, d.true_taken, d.wrong_path, d.hist_checkpoint)
+        };
 
         // Squash younger instructions from the fetch queue...
-        while let Some(back) = self.ifq.back() {
-            if back.d.seq <= seq {
+        while let Some(&crate::core::IfqSlot { h, .. }) = self.ifq.back() {
+            if self.slab.get(h).seq <= seq {
                 break;
             }
-            let ifq_slot = self.ifq.pop_back().expect("checked non-empty");
-            self.account.settle(&ifq_slot.d.ledger, InstrFate::Squashed);
+            self.ifq.pop_back();
+            self.account.settle(&self.slab.get(h).ledger, InstrFate::Squashed);
             self.perf.squashed += 1;
+            self.slab.release(h);
         }
         // ...and the window/LSQ.
-        while self.ruu.back().is_some_and(|b| b.d.seq > seq) {
+        while self.ruu.back().is_some_and(|b| b.seq > seq) {
             let (s, e) = self.ruu.pop_back().expect("checked non-empty");
             self.ruu_request.clear(s);
             // Unhook from producers still in flight so a reused slot
@@ -198,8 +213,9 @@ impl Core {
             if let Some(cp) = e.rename_checkpoint {
                 self.checkpoints.release(cp);
             }
-            self.account.settle(&e.d.ledger, InstrFate::Squashed);
+            self.account.settle(&self.slab.get(e.h).ledger, InstrFate::Squashed);
             self.perf.squashed += 1;
+            self.slab.release(e.h);
         }
         while self.lsq.back().is_some_and(|b| b.seq > seq) {
             let (s, l) = self.lsq.pop_back().expect("checked non-empty");
@@ -223,7 +239,7 @@ impl Core {
 
         // Repair the speculative global history: rewind to the branch's
         // fetch-time checkpoint, then shift in the resolved outcome.
-        if let Some(cp) = self.ruu.get(slot).expect("branch slot live").d.hist_checkpoint {
+        if let Some(cp) = hist_checkpoint {
             self.ghr.restore(cp);
             self.ghr.push(true_taken);
         }
@@ -259,19 +275,23 @@ impl Core {
         for &slot in &requesting {
             let e = self.ruu.get(slot).expect("requesting slot live");
             debug_assert!(!e.issued && !e.completed && e.wait_count == 0);
+            let h = e.h;
+            let (no_select_trigger, wrong_path, op) = {
+                let d = self.slab.get(h);
+                (d.no_select_trigger, d.wrong_path, d.op)
+            };
             // Selection throttling: the no-select bit keeps the entry from
             // raising its request line while the trigger is unresolved
             // (Figure 2) — which also saves the selection-arbitration
             // energy charged to requesting entries below.
-            if let Some(trigger) = e.d.no_select_trigger {
+            if let Some(trigger) = no_select_trigger {
                 if self.branch_unresolved(trigger) {
                     self.perf.selection_blocked += 1;
                     continue;
                 }
-                self.ruu.get_mut(slot).expect("live").d.no_select_trigger = None;
+                self.slab.get_mut(h).no_select_trigger = None;
             }
-            let e = self.ruu.get(slot).expect("live");
-            if oracle == OracleMode::Select && e.d.wrong_path {
+            if oracle == OracleMode::Select && wrong_path {
                 continue;
             }
 
@@ -280,14 +300,12 @@ impl Core {
             // or not (this is the activity the no-select bit suppresses).
             self.activity.add(Unit::Window, 1);
             let window_event = self.ev[Unit::Window.index()];
-            let e = self.ruu.get_mut(slot).expect("live");
-            e.d.ledger.charge(Unit::Window, window_event);
+            self.slab.get_mut(h).ledger.charge(Unit::Window, window_event);
 
             if issued >= self.config.issue_width {
                 continue; // requesting but no issue slot this cycle
             }
 
-            let op = e.d.op;
             let latency = match op {
                 OpClass::IntAlu | OpClass::Branch => self.int_alu.try_acquire(self.cycle),
                 OpClass::IntMult => self.int_mult.try_acquire(self.cycle),
@@ -306,7 +324,7 @@ impl Core {
 
             let e = self.ruu.get_mut(slot).expect("live");
             e.issued = true;
-            let seq = e.d.seq;
+            let seq = e.seq;
             let lsq_slot = e.lsq_slot;
             let done = self.cycle + u64::from(latency + self.config.exec_extra_latency).max(1);
             self.wheel.push(self.cycle, done, Completion { seq, slot: slot as u32 });
@@ -316,15 +334,15 @@ impl Core {
             self.activity.add(Unit::Alu, 1);
             let alu_event = self.ev[Unit::Alu.index()];
             let lsq_event = self.ev[Unit::Lsq.index()];
-            let e = self.ruu.get_mut(slot).expect("live");
-            e.d.ledger.charge(Unit::Alu, alu_event);
+            let d = self.slab.get_mut(h);
+            d.ledger.charge(Unit::Alu, alu_event);
             if op.is_mem() {
                 self.activity.add(Unit::Lsq, 1);
-                e.d.ledger.charge(Unit::Lsq, lsq_event);
+                d.ledger.charge(Unit::Lsq, lsq_event);
             }
 
             self.perf.issued += 1;
-            if e.d.wrong_path {
+            if wrong_path {
                 self.perf.wrong_path_issued += 1;
             }
             issued += 1;
@@ -354,11 +372,13 @@ impl Core {
     /// forwards when the youngest older store matches its address.
     fn mem_issue_latency(&mut self, slot: usize) -> Option<u32> {
         let e = self.ruu.get(slot).expect("live slot");
-        let seq = e.d.seq;
-        let is_store = e.d.op == OpClass::Store;
-        let addr = e.d.mem_addr.expect("memory op carries address");
+        let seq = e.seq;
         let lsq_slot = e.lsq_slot as usize;
-        let wrong_path = e.d.wrong_path;
+        let h = e.h;
+        let (is_store, addr, wrong_path) = {
+            let d = self.slab.get(h);
+            (d.op == OpClass::Store, d.mem_addr.expect("memory op carries address"), d.wrong_path)
+        };
 
         if is_store {
             // Stores only compute their address here; data goes to the
@@ -395,11 +415,11 @@ impl Core {
         self.activity.add(Unit::DCache, 1);
         let dcache_event = self.ev[Unit::DCache.index()];
         let dcache2_event = self.ev[Unit::DCache2.index()];
-        let e = self.ruu.get_mut(slot).expect("live slot");
-        e.d.ledger.charge(Unit::DCache, dcache_event);
+        let d = self.slab.get_mut(h);
+        d.ledger.charge(Unit::DCache, dcache_event);
         if res.l2_accessed {
             self.activity.add(Unit::DCache2, 1);
-            e.d.ledger.charge(Unit::DCache2, dcache2_event);
+            d.ledger.charge(Unit::DCache2, dcache2_event);
         }
         Some(res.latency)
     }

@@ -42,6 +42,7 @@
 //! squashes, exactly as an execution-driven simulator behaves.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use st_bpred::{
     Btb, ConfidenceEstimator, ConfidenceStats, DirectionPredictor, GlobalHistory, Gshare,
@@ -56,16 +57,18 @@ use st_power::{
 use crate::config::PipelineConfig;
 use crate::controller::{NullController, SpeculationController};
 use crate::hotstate::{
-    Bits, CheckpointPool, Completion, DepMatrix, EventWheel, FuPool, RenameTable, Ring,
+    Bits, CheckpointPool, Completion, DepMatrix, EventWheel, FuPool, InstrSlab, RenameTable, Ring,
 };
 use crate::instr::{DynInstr, SeqNum};
 use crate::stats::{MemSummary, PerfStats};
 
 /// Instruction waiting between fetch and rename (models the in-order
-/// front-end latency).
-#[derive(Debug)]
+/// front-end latency). Holds a handle into the instruction slab — the
+/// ~200 B body stays slot-resident from fetch to retirement.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct IfqSlot {
-    pub(crate) d: DynInstr,
+    /// Slab handle of the instruction body.
+    pub(crate) h: u32,
     pub(crate) ready_at: u64,
 }
 
@@ -73,9 +76,17 @@ pub(crate) struct IfqSlot {
 pub(crate) const NO_LSQ_SLOT: u32 = u32::MAX;
 
 /// Register update unit (instruction window + reorder buffer) entry.
+///
+/// Scheduling state only: the instruction body lives in the slab behind
+/// `h` and is mutated in place. `seq` is mirrored here because it is on
+/// the hottest lookup paths (window binary search, completion-event
+/// validation) — one word instead of a slab dereference.
 #[derive(Debug)]
 pub(crate) struct RuuEntry {
-    pub(crate) d: DynInstr,
+    /// Slab handle of the instruction body.
+    pub(crate) h: u32,
+    /// Mirror of the body's sequence number.
+    pub(crate) seq: SeqNum,
     /// Unresolved producers per source operand.
     pub(crate) src_wait: [Option<SeqNum>; 2],
     /// Number of unresolved producers (0 = operands ready).
@@ -132,7 +143,7 @@ impl SimResult {
 /// Builder for [`Core`] (C-BUILDER): program is mandatory, everything else
 /// defaults to the paper's configuration.
 pub struct CoreBuilder {
-    program: Program,
+    program: Arc<Program>,
     config: PipelineConfig,
     predictor: Option<Box<dyn DirectionPredictor>>,
     estimator: Option<Box<dyn ConfidenceEstimator>>,
@@ -150,6 +161,14 @@ impl CoreBuilder {
     /// Starts building a core for `program`.
     #[must_use]
     pub fn new(program: Program) -> CoreBuilder {
+        CoreBuilder::shared(Arc::new(program))
+    }
+
+    /// Starts building a core over a shared program image. Lane groups use
+    /// this to run N configuration points against one generated program
+    /// without cloning it per lane.
+    #[must_use]
+    pub fn shared(program: Arc<Program>) -> CoreBuilder {
         CoreBuilder {
             program,
             config: PipelineConfig::paper_default(),
@@ -255,6 +274,7 @@ impl CoreBuilder {
             on_correct_path: true,
             fetch_stall_until: 0,
             line_shift: (self.config.mem.l1i.line_bytes as u64).trailing_zeros(),
+            slab: InstrSlab::with_capacity(self.config.ifq_size + self.config.ruu_size),
             ifq: VecDeque::new(),
             ruu,
             ruu_request: Bits::new(ruu_cap),
@@ -288,7 +308,7 @@ impl CoreBuilder {
 
 /// The simulated processor.
 pub struct Core {
-    pub(crate) program: Program,
+    pub(crate) program: Arc<Program>,
     pub(crate) config: PipelineConfig,
 
     pub(crate) predictor: Box<dyn DirectionPredictor>,
@@ -311,6 +331,8 @@ pub struct Core {
     pub(crate) fetch_stall_until: u64,
     /// log2 of the L1I line size (fetch groups share a line access).
     pub(crate) line_shift: u32,
+    /// Slot-resident instruction bodies (IFQ/RUU move handles into here).
+    pub(crate) slab: InstrSlab,
     pub(crate) ifq: VecDeque<IfqSlot>,
 
     // Back end: slot-stable window + scoreboard.
@@ -442,6 +464,14 @@ impl Core {
         self.issue();
         self.dispatch();
         self.fetch();
+        self.end_cycle();
+    }
+
+    /// End-of-cycle bookkeeping: power accumulation and the cycle count.
+    /// Split out of [`Core::step`] so callers that interleave stages
+    /// across cores can still close each cycle identically to a solo
+    /// run.
+    pub(crate) fn end_cycle(&mut self) {
         self.power.accumulate_cycle(&self.activity, &mut self.account);
         self.activity.clear();
         self.cycle += 1;
@@ -451,7 +481,7 @@ impl Core {
     /// Physical RUU slot holding sequence number `seq`, if in flight.
     /// Binary search: ring order is dispatch order is seq order.
     pub(crate) fn find_ruu(&self, seq: SeqNum) -> Option<usize> {
-        self.ruu.find_by_key(seq, |e| e.d.seq)
+        self.ruu.find_by_key(seq, |e| e.seq)
     }
 
     /// Whether the branch with sequence number `seq` is still in flight and

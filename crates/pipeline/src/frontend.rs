@@ -29,26 +29,32 @@ impl Core {
         let mut dispatched = 0;
         let mut gated = false;
         while dispatched < width {
-            let Some(front) = self.ifq.front() else { break };
-            if front.ready_at > self.cycle {
+            let Some(&IfqSlot { h, ready_at }) = self.ifq.front() else { break };
+            if ready_at > self.cycle {
                 break;
             }
-            let exempt = horizon.is_some_and(|h| front.d.seq <= h);
+            // Decode reads: the body stays slot-resident in the slab; only
+            // the handle moves from the IFQ to the window.
+            let (seq, op, dest, src1, src2, wrong_path, mem_addr) = {
+                let d = self.slab.get(h);
+                (d.seq, d.op, d.dest, d.src1, d.src2, d.wrong_path, d.mem_addr)
+            };
+            let exempt = horizon.is_some_and(|hz| seq <= hz);
             if allowance == 0 && !exempt {
                 gated = true;
                 break;
             }
-            if oracle == OracleMode::Decode && front.d.wrong_path {
+            if oracle == OracleMode::Decode && wrong_path {
                 break; // refuse wrong-path instructions; squash clears them
             }
             if self.ruu.len() >= self.config.ruu_size {
                 break;
             }
-            if front.d.op.is_mem() && self.lsq.len() >= self.config.lsq_size {
+            if op.is_mem() && self.lsq.len() >= self.config.lsq_size {
                 break;
             }
 
-            let mut d = self.ifq.pop_front().expect("checked non-empty").d;
+            self.ifq.pop_front();
             let ruu_slot = self.ruu.next_slot();
             // Scoreboard hygiene: the slot's previous occupant left no
             // request line or dependant bits behind, but a fresh row costs
@@ -60,7 +66,7 @@ impl Core {
             let mut src_wait = [None, None];
             let mut wait_count = 0u8;
             let mut ready_reads = 0u32;
-            for (i, src) in [d.src1, d.src2].into_iter().enumerate() {
+            for (i, src) in [src1, src2].into_iter().enumerate() {
                 let Some(r) = src else { continue };
                 match self.rename.get(r) {
                     // The cached slot is validated against reuse: a live
@@ -68,7 +74,7 @@ impl Core {
                     // producer already retired.
                     Some((producer, pslot)) => {
                         match self.ruu.get(pslot) {
-                            Some(p) if p.d.seq == producer && !p.completed => {
+                            Some(p) if p.seq == producer && !p.completed => {
                                 src_wait[i] = Some(producer);
                                 wait_count += 1;
                                 self.ruu_deps.set(pslot, ruu_slot);
@@ -82,38 +88,44 @@ impl Core {
             // Conditional branches snapshot the rename map for recovery
             // (into recycled pool storage instead of a fresh allocation).
             let rename_checkpoint =
-                d.is_cond_branch().then(|| self.checkpoints.alloc(self.rename.snapshot()));
-            if let Some(dest) = d.dest {
-                self.rename.set(dest, d.seq, ruu_slot);
+                (op == OpClass::Branch).then(|| self.checkpoints.alloc(self.rename.snapshot()));
+            if let Some(dest) = dest {
+                self.rename.set(dest, seq, ruu_slot);
             }
+
+            // Selection-throttling tag (Figure 2's no-select bit).
+            let no_select_trigger = match self.controller.no_select_trigger() {
+                Some(trigger) if trigger < seq && self.branch_unresolved(trigger) => Some(trigger),
+                _ => None,
+            };
 
             // Energy: rename slot, window insert, register reads of ready
             // operands (Wattch footnote 2 semantics).
             self.activity.add(Unit::Rename, 1);
-            d.ledger.charge(Unit::Rename, self.ev[Unit::Rename.index()]);
             self.activity.add(Unit::Window, 1);
-            d.ledger.charge(Unit::Window, self.ev[Unit::Window.index()]);
             if ready_reads > 0 {
                 self.activity.add(Unit::Regfile, ready_reads);
-                d.ledger
-                    .charge(Unit::Regfile, f64::from(ready_reads) * self.ev[Unit::Regfile.index()]);
             }
-
-            // Selection-throttling tag (Figure 2's no-select bit).
-            if let Some(trigger) = self.controller.no_select_trigger() {
-                if trigger < d.seq && self.branch_unresolved(trigger) {
-                    d.no_select_trigger = Some(trigger);
+            let ev = self.ev;
+            {
+                let d = self.slab.get_mut(h);
+                d.ledger.charge(Unit::Rename, ev[Unit::Rename.index()]);
+                d.ledger.charge(Unit::Window, ev[Unit::Window.index()]);
+                if ready_reads > 0 {
+                    d.ledger
+                        .charge(Unit::Regfile, f64::from(ready_reads) * ev[Unit::Regfile.index()]);
                 }
+                d.no_select_trigger = no_select_trigger;
             }
 
-            let completed = !d.needs_fu();
+            let completed = matches!(op, OpClass::Jump | OpClass::Nop);
             let mut lsq_slot = NO_LSQ_SLOT;
-            if d.op.is_mem() {
-                let is_store = d.op == OpClass::Store;
+            if op.is_mem() {
+                let is_store = op == OpClass::Store;
                 let slot = self.lsq.push_back(LsqEntry {
-                    seq: d.seq,
+                    seq,
                     is_store,
-                    addr: d.mem_addr.expect("memory op carries address"),
+                    addr: mem_addr.expect("memory op carries address"),
                     issued: false,
                     prev_store_slot: self.lsq_last_store,
                 });
@@ -125,12 +137,13 @@ impl Core {
             }
 
             self.perf.dispatched += 1;
-            if d.wrong_path {
+            if wrong_path {
                 self.perf.wrong_path_dispatched += 1;
             }
             let needs_request = !completed && wait_count == 0;
             let slot = self.ruu.push_back(RuuEntry {
-                d,
+                h,
+                seq,
                 src_wait,
                 wait_count,
                 issued: completed,
@@ -341,8 +354,11 @@ impl Core {
             if d.wrong_path {
                 self.perf.wrong_path_fetched += 1;
             }
+            // The body is written into the slab exactly once here; every
+            // later stage reaches it through the 4-byte handle.
+            let h = self.slab.insert(d);
             self.ifq.push_back(IfqSlot {
-                d,
+                h,
                 ready_at: self.cycle + 1 + u64::from(self.config.front_latency),
             });
             allowance -= 1;

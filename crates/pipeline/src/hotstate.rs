@@ -22,7 +22,12 @@
 //! * [`RenameTable`] / [`CheckpointPool`] — the rename map as a flat
 //!   sentinel-coded array with recycled checkpoint storage (conditional
 //!   branches snapshot the map; the pool removes the per-branch
-//!   allocation).
+//!   allocation);
+//! * [`InstrSlab`] — slot-resident [`DynInstr`] bodies. In-flight
+//!   structures (IFQ, RUU) move 4-byte handles; the ~200 B payload is
+//!   written once at fetch and dropped in place at commit/squash,
+//!   eliminating the IFQ→RUU and retire-time memmoves the PR 3 profile
+//!   flagged.
 //!
 //! All of these are *representation* changes only: the golden
 //! differential tests in `st-sweep` pin every simulation result bit to
@@ -34,7 +39,75 @@ use std::collections::BinaryHeap;
 
 use st_isa::Reg;
 
-use crate::instr::SeqNum;
+use crate::instr::{DynInstr, SeqNum};
+
+// ---------------------------------------------------------------------
+// InstrSlab
+// ---------------------------------------------------------------------
+
+/// Slot-resident storage for in-flight [`DynInstr`] bodies.
+///
+/// Fetch writes each dynamic instruction into a slab slot exactly once;
+/// from then on the IFQ and RUU move only the returned 4-byte handle.
+/// The body is mutated in place (ledger charges, prediction fields) and
+/// dropped in place when the instruction commits or squashes, so the
+/// ~200 B payload is never copied between pipeline structures. Handles
+/// are recycled through a free list; occupancy is bounded by
+/// `ifq_size + ruu_size`.
+#[derive(Debug)]
+pub(crate) struct InstrSlab {
+    buf: Vec<Option<DynInstr>>,
+    free: Vec<u32>,
+}
+
+impl InstrSlab {
+    /// A slab pre-sized for `cap` concurrently live instructions.
+    pub(crate) fn with_capacity(cap: usize) -> InstrSlab {
+        InstrSlab { buf: Vec::with_capacity(cap), free: Vec::new() }
+    }
+
+    /// Stores `d`, returning its handle.
+    pub(crate) fn insert(&mut self, d: DynInstr) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.buf[h as usize].is_none(), "free-list slot in use");
+                self.buf[h as usize] = Some(d);
+                h
+            }
+            None => {
+                self.buf.push(Some(d));
+                (self.buf.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The instruction behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not a live handle (a pipeline bookkeeping bug).
+    pub(crate) fn get(&self, h: u32) -> &DynInstr {
+        self.buf[h as usize].as_ref().expect("live instruction handle")
+    }
+
+    /// Mutable access to the instruction behind `h`.
+    pub(crate) fn get_mut(&mut self, h: u32) -> &mut DynInstr {
+        self.buf[h as usize].as_mut().expect("live instruction handle")
+    }
+
+    /// Drops the body behind `h` in place and recycles the handle.
+    pub(crate) fn release(&mut self, h: u32) {
+        debug_assert!(self.buf[h as usize].is_some(), "double release");
+        self.buf[h as usize] = None;
+        self.free.push(h);
+    }
+
+    /// Number of live bodies (testing).
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.buf.iter().filter(|s| s.is_some()).count()
+    }
+}
 
 // ---------------------------------------------------------------------
 // Ring
@@ -556,6 +629,46 @@ impl CheckpointPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn instr_slab_recycles_handles_without_moving_bodies() {
+        use st_isa::{OpClass, Pc};
+        let blank = |seq: u64| DynInstr {
+            seq: SeqNum(seq),
+            pc: Pc(0x40_0000),
+            op: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+            branch: None,
+            pred_taken: false,
+            pred_next: Pc(0x40_0004),
+            true_taken: false,
+            true_next: Pc(0x40_0004),
+            confidence: None,
+            hist_checkpoint: None,
+            hist_at_predict: 0,
+            mem_addr: None,
+            no_select_trigger: None,
+            ledger: st_power::EnergyLedger::default(),
+        };
+        let mut slab = InstrSlab::with_capacity(4);
+        let a = slab.insert(blank(1));
+        let b = slab.insert(blank(2));
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a).seq, SeqNum(1));
+        slab.get_mut(a).hist_at_predict = 7;
+        assert_eq!(slab.get(a).hist_at_predict, 7);
+        slab.release(a);
+        assert_eq!(slab.live(), 1);
+        // The freed handle is recycled for the next insertion.
+        let c = slab.insert(blank(3));
+        assert_eq!(c, a);
+        assert_eq!(slab.get(c).seq, SeqNum(3));
+        assert_eq!(slab.get(b).seq, SeqNum(2));
+        assert_eq!(slab.live(), 2);
+    }
 
     #[test]
     fn ring_slots_are_stable_across_wrap() {

@@ -1,0 +1,215 @@
+//! The lane tier: lockstep execution of N sweep points on one thread.
+//!
+//! A [`LaneGroup`] steps a set of cores — typically N configuration
+//! points of the same workload sharing one generated `Program` image via
+//! [`crate::CoreBuilder::shared`] — in bounded lockstep: lanes advance
+//! round-robin in quanta of `LOCKSTEP_QUANTUM` cycles, so no lane ever
+//! runs more than one quantum ahead of the slowest live lane. The
+//! quantum keeps each lane's microarchitectural state (rings, bitsets,
+//! the instruction slab) resident while it steps — switching lanes every
+//! cycle would thrash the data cache with N cores' working sets — while
+//! the shared program image keeps decode and block-lookup working sets
+//! hot *across* the switches.
+//!
+//! ## Bit-identity
+//!
+//! Lanes hold no shared mutable state: predictor tables, walkers, global
+//! history and energy accounts are lane-private (sharing any of them
+//! would entangle points whose architectural streams sit at different
+//! positions). Lockstep is therefore pure scheduling — each lane's state
+//! evolution is exactly the solo [`Core::run`] evolution, which the
+//! `st-sweep` golden hashes and lane-equivalence property tests pin.
+//!
+//! ## Divergent-lane completion
+//!
+//! Points in a group may carry different instruction budgets or IPCs. A
+//! lane that reaches its commit target *parks*: it stops stepping (its
+//! cycle counter freezes exactly where a solo run's would) while the
+//! remaining lanes continue, and the group finishes when the slowest
+//! lane does.
+
+use crate::core::{Core, SimResult};
+
+/// Cycles a lane runs before control rotates to the next live lane.
+///
+/// Small enough that lanes stay within one quantum of each other (and a
+/// divergent lane parks at most a quantum after reaching its budget
+/// would have been *detected* solo — the park point itself is exact);
+/// large enough to amortise swapping N cores' working sets through the
+/// data cache. The value only shapes wall-clock, never results: lanes
+/// share no mutable state, so any interleave is bit-identical.
+const LOCKSTEP_QUANTUM: u64 = 256;
+
+/// Per-lane progress bookkeeping (mirrors the solo-run watchdog).
+#[derive(Debug)]
+struct LaneState {
+    target: u64,
+    last_commit: u64,
+    stall_watchdog: u64,
+    parked: bool,
+}
+
+/// A group of cores stepped in lockstep on the calling thread.
+#[derive(Debug)]
+pub struct LaneGroup {
+    lanes: Vec<Core>,
+}
+
+impl LaneGroup {
+    /// A group over `lanes` (typically built with a shared program via
+    /// [`crate::CoreBuilder::shared`], though any cores work).
+    #[must_use]
+    pub fn new(lanes: Vec<Core>) -> LaneGroup {
+        LaneGroup { lanes }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the group has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Runs every lane until lane `i` has committed `budgets[i]` *more*
+    /// instructions, then returns the per-lane result snapshots in lane
+    /// order. Each lane's result is bit-identical to what a solo
+    /// [`Core::run`] with the same budget would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets.len() != self.len()`, or if a lane's pipeline
+    /// stops making forward progress (a simulator bug, identical to the
+    /// solo-run deadlock watchdog).
+    pub fn run(&mut self, budgets: &[u64]) -> Vec<SimResult> {
+        assert_eq!(budgets.len(), self.lanes.len(), "one budget per lane");
+        let mut states: Vec<LaneState> = self
+            .lanes
+            .iter()
+            .zip(budgets)
+            .map(|(lane, &budget)| {
+                let target = lane.perf.committed + budget;
+                LaneState {
+                    target,
+                    last_commit: lane.perf.committed,
+                    stall_watchdog: 0,
+                    parked: lane.perf.committed >= target,
+                }
+            })
+            .collect();
+
+        while states.iter().any(|s| !s.parked) {
+            // Bounded lockstep: each live lane advances one quantum of
+            // cycles, then control rotates, so the group sweeps forward
+            // together while each lane's state stays cache-resident for
+            // a full quantum.
+            for (lane, st) in self.lanes.iter_mut().zip(&mut states) {
+                if st.parked {
+                    continue;
+                }
+                for _ in 0..LOCKSTEP_QUANTUM {
+                    lane.step();
+                    if lane.perf.committed >= st.target {
+                        // Divergent completion: this lane parks exactly
+                        // where its solo run would stop; the others keep
+                        // stepping.
+                        st.parked = true;
+                        break;
+                    }
+                    if lane.perf.committed == st.last_commit {
+                        st.stall_watchdog += 1;
+                        assert!(
+                            st.stall_watchdog < 100_000,
+                            "pipeline deadlock at cycle {} (committed {})",
+                            lane.cycle,
+                            lane.perf.committed
+                        );
+                    } else {
+                        st.last_commit = lane.perf.committed;
+                        st.stall_watchdog = 0;
+                    }
+                }
+            }
+        }
+        self.lanes.iter().map(Core::result).collect()
+    }
+
+    /// Consumes the group, returning the cores in lane order.
+    #[must_use]
+    pub fn into_lanes(self) -> Vec<Core> {
+        self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreBuilder;
+    use crate::PipelineConfig;
+    use st_isa::WorkloadSpec;
+    use std::sync::Arc;
+
+    fn program(seed: u64) -> st_isa::Program {
+        WorkloadSpec::builder("lane-test").seed(seed).blocks(256).build().generate()
+    }
+
+    #[test]
+    fn lanes_match_solo_runs_bit_for_bit() {
+        let program = Arc::new(program(1));
+        // Four lanes, same workload, different configurations.
+        let configs = [
+            PipelineConfig::paper_default(),
+            PipelineConfig::with_depth(6),
+            PipelineConfig::paper_default().with_fetch_width(2),
+            PipelineConfig::with_depth(28),
+        ];
+        let solo: Vec<_> = configs
+            .iter()
+            .map(|c| CoreBuilder::shared(Arc::clone(&program)).config(c.clone()).build().run(4_000))
+            .collect();
+        let cores: Vec<Core> = configs
+            .iter()
+            .map(|c| CoreBuilder::shared(Arc::clone(&program)).config(c.clone()).build())
+            .collect();
+        let mut group = LaneGroup::new(cores);
+        let lanes = group.run(&[4_000; 4]);
+        assert_eq!(solo, lanes, "lockstep lanes must be bit-identical to solo runs");
+    }
+
+    #[test]
+    fn divergent_budgets_park_without_perturbing_others() {
+        let program = Arc::new(program(2));
+        let budgets = [500u64, 6_000, 2_000];
+        let solo: Vec<_> = budgets
+            .iter()
+            .map(|&b| CoreBuilder::shared(Arc::clone(&program)).build().run(b))
+            .collect();
+        let cores: Vec<Core> =
+            (0..3).map(|_| CoreBuilder::shared(Arc::clone(&program)).build()).collect();
+        let mut group = LaneGroup::new(cores);
+        let lanes = group.run(&budgets);
+        assert_eq!(solo, lanes, "early-parking lanes must not perturb the rest");
+        // The parked lane's cycle counter froze where its solo run ended.
+        let cores = group.into_lanes();
+        assert_eq!(cores[0].cycle(), solo[0].perf.cycles);
+        assert_eq!(cores[1].cycle(), solo[1].perf.cycles);
+    }
+
+    #[test]
+    fn empty_group_and_zero_budgets_are_no_ops() {
+        let mut empty = LaneGroup::new(Vec::new());
+        assert!(empty.is_empty());
+        assert!(empty.run(&[]).is_empty());
+
+        let program = Arc::new(program(3));
+        let mut group = LaneGroup::new(vec![CoreBuilder::shared(program).build()]);
+        assert_eq!(group.len(), 1);
+        let r = group.run(&[0]);
+        assert_eq!(r[0].perf.committed, 0, "zero budget never steps");
+        assert_eq!(r[0].perf.cycles, 0);
+    }
+}

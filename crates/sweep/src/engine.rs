@@ -44,6 +44,7 @@ pub struct EngineStats {
 #[derive(Debug)]
 pub struct SweepEngine {
     threads: usize,
+    lanes: usize,
     cache: ResultCache,
     simulated: AtomicU64,
     loaded: u64,
@@ -63,12 +64,23 @@ impl SweepEngine {
         };
         SweepEngine {
             threads,
+            lanes: 1,
             cache: ResultCache::new(),
             simulated: AtomicU64::new(0),
             loaded: 0,
             load_stats: LoadStats::default(),
             persist: None,
         }
+    }
+
+    /// Sets the lane width: how many same-workload points one worker
+    /// steps in lockstep per pull (`0` and `1` both mean solo execution).
+    /// Lane packing changes scheduling only — reports stay bit-identical
+    /// to solo runs at any width.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> SweepEngine {
+        self.lanes = lanes.max(1);
+        self
     }
 
     /// An engine sized to the available hardware parallelism.
@@ -139,6 +151,12 @@ impl SweepEngine {
         self.threads
     }
 
+    /// Configured lane width (1 = solo execution).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
     /// Execution counters so far.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
@@ -192,22 +210,42 @@ impl SweepEngine {
             })
             .collect();
 
-        // Phase 2: shard the unique misses across the worker pool.
+        // Phase 2: pack the unique misses into lane chunks and shard the
+        // chunks across the worker pool. At `lanes == 1` every chunk is a
+        // single point (the classic one-point-per-pull schedule); wider
+        // lanes pack up to `lanes` same-workload points per chunk so one
+        // worker steps them in lockstep over a shared program image.
+        let chunks = self.lane_chunks(&fresh);
         let results: Vec<OnceLock<Arc<SimReport>>> =
             (0..fresh.len()).map(|_| OnceLock::new()).collect();
+        let run_chunk = |chunk: &[usize]| match chunk {
+            [i] => {
+                results[*i].set(Arc::new(fresh[*i].1.run())).expect("slot set once");
+            }
+            _ => {
+                let specs: Vec<&JobSpec> = chunk.iter().map(|&i| fresh[i].1).collect();
+                for (&i, r) in chunk.iter().zip(crate::job::run_group(&specs)) {
+                    results[i].set(Arc::new(r)).expect("slot set once");
+                }
+            }
+        };
         let next = AtomicUsize::new(0);
-        let workers = self.threads.min(fresh.len());
+        // Worker count is chunk-aware: with lane packing there are only
+        // `chunks.len()` ≈ ⌈points/lanes⌉ schedulable units, so spawning
+        // `threads` workers regardless would oversubscribe with threads
+        // that never pull work.
+        let workers = self.threads.min(chunks.len());
         if workers <= 1 {
-            for (i, (_, job)) in fresh.iter().enumerate() {
-                results[i].set(Arc::new(job.run())).expect("slot set once");
+            for chunk in &chunks {
+                run_chunk(chunk);
             }
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((_, job)) = fresh.get(i) else { break };
-                        results[i].set(Arc::new(job.run())).expect("slot set once");
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(c) else { break };
+                        run_chunk(chunk);
                     });
                 }
             });
@@ -238,6 +276,31 @@ impl SweepEngine {
                 Slot::Fresh(i) => Arc::clone(&finished[i]),
             })
             .collect()
+    }
+
+    /// Packs fresh-point indices into lane chunks: points sharing a
+    /// `(workload, instructions)` pair — and therefore one generated
+    /// program and one budget regime — are grouped in first-seen order
+    /// and split into runs of at most `lanes` indices each.
+    fn lane_chunks(&self, fresh: &[(u64, &JobSpec)]) -> Vec<Vec<usize>> {
+        if self.lanes <= 1 {
+            return (0..fresh.len()).map(|i| vec![i]).collect();
+        }
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, (_, job)) in fresh.iter().enumerate() {
+            let key =
+                crate::job::fnv1a64(format!("{:?}/{}", job.workload, job.instructions).as_bytes());
+            groups
+                .entry(key)
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        order.iter().flat_map(|key| groups[key].chunks(self.lanes).map(<[usize]>::to_vec)).collect()
     }
 
     /// Runs a single job through the cache (and the persistent
@@ -343,6 +406,61 @@ mod tests {
         assert_eq!(second.stats().loaded, 2, "good entries still load");
         assert_eq!(second.load_stats().skipped_corrupt, 1, "bad entry skipped and counted");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lane_widths_produce_identical_reports() {
+        // A mixed grid: two workloads × three experiments, plus one
+        // odd-budget point so a group splits unevenly across chunks.
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        for seed in [41, 42] {
+            for e in [
+                st_core::experiments::baseline(),
+                st_core::experiments::c2(),
+                st_core::experiments::a7(),
+            ] {
+                jobs.push(job(seed).with_experiment(e));
+            }
+        }
+        jobs.push(JobSpec::new(
+            WorkloadSpec::builder("engine-test").seed(41).blocks(64).build(),
+            1_500,
+        ));
+        let solo = SweepEngine::new(1).run(&jobs);
+        for lanes in [2, 4, 8] {
+            let engine = SweepEngine::new(2).with_lanes(lanes);
+            assert_eq!(engine.lanes(), lanes);
+            let out = engine.run(&jobs);
+            assert_eq!(solo, out, "lanes={lanes} must be bit-identical to solo");
+            assert_eq!(engine.stats().simulated, jobs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn lane_chunks_respect_grouping_and_width() {
+        let engine = SweepEngine::new(1).with_lanes(4);
+        let a: Vec<JobSpec> = (0..6)
+            .map(|i| {
+                job(77).with_experiment(if i % 2 == 0 {
+                    st_core::experiments::baseline()
+                } else {
+                    st_core::experiments::c2()
+                })
+            })
+            .collect();
+        // 6 points, 2 distinct (the rest dedup away) → one 2-wide chunk.
+        let fresh: Vec<(u64, &JobSpec)> = a.iter().take(2).map(|j| (j.fingerprint(), j)).collect();
+        let chunks = engine.lane_chunks(&fresh);
+        assert_eq!(chunks, vec![vec![0, 1]]);
+        // Mixed workloads never share a chunk.
+        let other = job(78);
+        let fresh: Vec<(u64, &JobSpec)> = vec![
+            (a[0].fingerprint(), &a[0]),
+            (other.fingerprint(), &other),
+            (a[1].fingerprint(), &a[1]),
+        ];
+        let chunks = engine.lane_chunks(&fresh);
+        assert_eq!(chunks, vec![vec![0, 2], vec![1]]);
     }
 
     #[test]

@@ -1196,11 +1196,9 @@ mod tests {
         let reply = raw(with_query("?range=ffffffffffffffff-0000000000000000"));
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         // A valid range with a bogus spec still gets a structured 400.
-        let reply = raw(
-            "GET /points?range=0000000000000000-ffffffffffffffff HTTP/1.1\r\n\
+        let reply = raw("GET /points?range=0000000000000000-ffffffffffffffff HTTP/1.1\r\n\
              Content-Length: 9\r\n\r\nbogus = 1"
-                .to_string(),
-        );
+            .to_string());
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         assert!(reply.contains("\"kind\":\"error\""), "{reply}");
 

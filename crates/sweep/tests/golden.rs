@@ -103,19 +103,63 @@ fn per_report_goldens_match_seed_implementation() {
     );
 }
 
+/// The per-report goldens again, but retired through the lane tier: each
+/// workload's four experiments run as one lockstep [`run_group`] lane
+/// group — the exact grouping `st run --lanes 4` would form — and every
+/// report must still hash to the seed constants. This is the contract
+/// that lanes are a *scheduling* change, not a semantic one.
+#[test]
+fn per_report_goldens_match_at_lane_width_4() {
+    let mut failures = Vec::new();
+    for chunk in GOLDEN_REPORT_HASHES.chunks(GOLDEN_EXPERIMENTS.len()) {
+        let workload = chunk[0].0;
+        let jobs: Vec<JobSpec> = chunk
+            .iter()
+            .map(|(w, experiment, _)| {
+                assert_eq!(*w, workload, "golden table must stay workload-major");
+                let spec = st_workloads::by_name(workload)
+                    .unwrap_or_else(|| panic!("unknown workload {workload}"));
+                JobSpec::new(spec, GOLDEN_INSTRUCTIONS).with_experiment(
+                    st_sweep::experiment_by_id(experiment)
+                        .unwrap_or_else(|| panic!("unknown experiment {experiment}")),
+                )
+            })
+            .collect();
+        let reports = st_sweep::job::run_group(&jobs.iter().collect::<Vec<&JobSpec>>());
+        for ((_, experiment, expected), report) in chunk.iter().zip(&reports) {
+            let got = report_hash(report);
+            if got != *expected {
+                failures.push(format!(
+                    "  ({workload:?}, {experiment:?}, 0x{got:016x}), // was 0x{expected:016x}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "lane-group reports drifted from the seed goldens for {} point(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// FNV-1a hash of the byte-for-byte `st run examples/axes-demo.toml`
 /// JSONL document, captured from the seed implementation.
 const GOLDEN_AXES_DEMO_JSONL_HASH: u64 = 0x39e2fd25c2ed3b85;
 
-fn axes_demo_jsonl() -> String {
+fn axes_demo_jsonl_at_lanes(lanes: usize) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/axes-demo.toml");
     let text = std::fs::read_to_string(path).expect("read examples/axes-demo.toml");
     let spec = SweepSpec::parse(&text).expect("parse axes-demo spec");
     let points = spec.points().expect("resolve points");
     let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
-    let engine = SweepEngine::new(1);
+    let engine = SweepEngine::new(1).with_lanes(lanes);
     let reports = engine.run(&jobs);
     st_sweep::emit::sweep_jsonl(&points, &reports)
+}
+
+fn axes_demo_jsonl() -> String {
+    axes_demo_jsonl_at_lanes(1)
 }
 
 #[test]
@@ -126,6 +170,17 @@ fn axes_demo_jsonl_matches_checked_in_hash() {
         got, GOLDEN_AXES_DEMO_JSONL_HASH,
         "examples/axes-demo.toml JSONL drifted (got 0x{got:016x}); if intentional, \
          update GOLDEN_AXES_DEMO_JSONL_HASH"
+    );
+}
+
+#[test]
+fn axes_demo_jsonl_matches_golden_at_lane_width_4() {
+    // The engine's lane scheduler (grouping, chunking, lockstep
+    // execution) must reproduce the same golden bytes as the solo path.
+    let got = fnv1a64(axes_demo_jsonl_at_lanes(4).as_bytes());
+    assert_eq!(
+        got, GOLDEN_AXES_DEMO_JSONL_HASH,
+        "lane-4 axes-demo JSONL diverged from the solo golden (got 0x{got:016x})"
     );
 }
 

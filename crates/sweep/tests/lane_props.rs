@@ -1,0 +1,69 @@
+//! Property test for the lane tier: for a *random* sweep spec (random
+//! workload subset, experiment list, window sizes, gating threshold and
+//! instruction budget) the engine's JSONL output at every lane width in
+//! {1, 2, 4, 8} is byte-identical to the solo (`--lanes 1`) schedule.
+//!
+//! This is the lane tier's core contract — lanes change how points are
+//! *scheduled*, never what they compute — probed over the spec space
+//! rather than at a handful of pinned points like the goldens.
+
+use proptest::prelude::*;
+use st_sweep::{SweepEngine, SweepSpec};
+
+/// Workload pool the mask draws from (a subset keeps cases fast; the
+/// goldens already cover every paper workload).
+const WORKLOADS: [&str; 4] = ["go", "gcc", "compress", "twolf"];
+
+/// Renders one random sweep spec as TOML.
+fn spec_toml(wmask: u8, with_a7: bool, ruu: u64, gate: u64, instructions: u64) -> String {
+    let picked: Vec<String> = WORKLOADS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| wmask & (1 << i) != 0)
+        .map(|(_, w)| format!("\"{w}\""))
+        .collect();
+    let workloads = if picked.is_empty() { "\"go\"".to_string() } else { picked.join(", ") };
+    let experiments = if with_a7 { "\"C2\", \"A7\"" } else { "\"C2\"" };
+    format!(
+        "name = \"lane-props\"\nworkloads = [{workloads}]\nexperiments = [{experiments}]\n\n\
+         [axis]\nruu_size = [{ruu}, {}]\ngating_threshold = [{gate}]\ninstructions = {instructions}\n",
+        ruu * 2,
+    )
+}
+
+/// Runs the spec through the engine at the given lane width and renders
+/// the same JSONL document `st run` emits.
+fn jsonl_at_lanes(toml: &str, lanes: usize) -> String {
+    let spec = SweepSpec::parse(toml).expect("random spec parses");
+    let points = spec.points().expect("points resolve");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let reports = SweepEngine::new(1).with_lanes(lanes).run(&jobs);
+    st_sweep::emit::sweep_jsonl(&points, &reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_lane_width_emits_the_solo_jsonl_bytes(
+        wmask in 1u8..16,
+        with_a7 in any::<bool>(),
+        ruu_pick in 0usize..3,
+        gate in 1u64..=3,
+        instructions in 500u64..=2_000,
+    ) {
+        let ruu = [16u64, 32, 64][ruu_pick];
+        let toml = spec_toml(wmask, with_a7, ruu, gate, instructions);
+        let solo = jsonl_at_lanes(&toml, 1);
+        for lanes in [2usize, 4, 8] {
+            let laned = jsonl_at_lanes(&toml, lanes);
+            prop_assert_eq!(
+                &laned,
+                &solo,
+                "lane width {} diverged from solo for spec:\n{}",
+                lanes,
+                toml
+            );
+        }
+    }
+}
