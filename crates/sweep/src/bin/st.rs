@@ -80,6 +80,18 @@
 //!     Renders a cached sweep JSONL as ASCII bar charts (one per
 //!     experiment), e.g. --x axis.ruu_size --y ipc.
 //!
+//! st audit <jsonl|spec.toml|spec.json> [--min-confidence L]
+//!          [--format table|jsonl] [--allow FILE]
+//!     Runs the deterministic findings engine over a sweep: IPC cliffs
+//!     along any bound axis, energy-delay regressions vs the BASE
+//!     experiment, non-monotonic axis responses, implausible metrics
+//!     and stale-baseline drift. Given a spec it (re)runs the grid
+//!     cache-first and cross-checks every record against the expanded
+//!     grid; given a JSONL it audits the records as-is. Findings are
+//!     byte-deterministic; known ones are suppressed by fingerprint via
+//!     --allow. Exits 0 when nothing (unsuppressed) is found, 4 when
+//!     findings remain — the CI gate.
+//!
 //! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
 //!
@@ -119,7 +131,8 @@ use st_sweep::loadgen::{self, LoadgenConfig};
 use st_sweep::persist::{self, MigrateStats};
 use st_sweep::service::{self, ServiceConfig};
 use st_sweep::{
-    all_experiments, axes, client, shard, AxisValue, PersistentCache, Store, SweepEngine, SweepSpec,
+    all_experiments, audit, axes, client, shard, AxisValue, PersistentCache, Store, SweepEngine,
+    SweepSpec,
 };
 
 fn main() {
@@ -135,6 +148,7 @@ fn main() {
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -170,6 +184,9 @@ USAGE:
              [--submissions M] [--priority N] [--smoke] [--bench-json PATH]
     st bench [--smoke] [--lanes N] [--instr N] [--bench-json PATH] [--store]
     st plot <jsonl> --x <key> --y <metric>
+    st audit <jsonl|spec.toml|spec.json> [--threads N] [--out DIR] [--no-cache]
+             [--min-confidence low|medium|high] [--format table|jsonl]
+             [--allow FILE]
     st list [workloads|experiments|figures|axes]
     st cache [show|stats|migrate|compact|clear|clear-claims] [--out DIR]
     st cache evict --max-bytes N [--out DIR]
@@ -228,6 +245,16 @@ OPTIONS:
                      append + cold load) instead of the core hot loop
     --x KEY          `plot`: x-axis record key (e.g. axis.ruu_size)
     --y KEY          `plot`: y-axis metric (e.g. ipc, speedup, energy_j)
+    --min-confidence L
+                     `audit`: drop findings below Low|Medium|High
+                     (default low: everything)
+    --format F       `audit`: findings as a table (default) or as JSONL
+                     on stdout (the byte-deterministic document)
+    --allow FILE     `audit`: suppress findings whose 16-hex-digit
+                     fingerprint is listed (one per line, # comments)
+
+`st audit` exits 0 when no unsuppressed finding remains, 4 when findings
+remain (the CI gate), 1 on errors and 2 on usage mistakes.
 ";
 
 /// Options shared by `repro`, `run` and `cache`.
@@ -273,6 +300,12 @@ struct CommonOpts {
     clients: Option<usize>,
     /// `--submissions`: only `loadgen` accepts it.
     submissions: Option<usize>,
+    /// `--min-confidence`: only `audit` accepts it.
+    min_confidence: Option<String>,
+    /// `--format`: only `audit` accepts it.
+    format: Option<String>,
+    /// `--allow`: only `audit` accepts it.
+    allow: Option<PathBuf>,
     /// Non-flag positionals, in order.
     positional: Vec<String>,
 }
@@ -331,6 +364,12 @@ impl CommonOpts {
             || self.clients.is_some()
             || self.submissions.is_some()
     }
+
+    /// Whether any audit flag (`--min-confidence`, `--format`,
+    /// `--allow`) was given; only `audit` accepts them.
+    fn audit_flags(&self) -> bool {
+        self.min_confidence.is_some() || self.format.is_some() || self.allow.is_some()
+    }
 }
 
 fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
@@ -357,6 +396,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
         priority: None,
         clients: None,
         submissions: None,
+        min_confidence: None,
+        format: None,
+        allow: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -447,6 +489,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
                         .map_err(|_| "--submissions expects an integer".to_string())?,
                 );
             }
+            "--min-confidence" => opts.min_confidence = Some(value_for("--min-confidence")?),
+            "--format" => opts.format = Some(value_for("--format")?),
+            "--allow" => opts.allow = Some(PathBuf::from(value_for("--allow")?)),
             "--bench-json" => opts.bench_json = Some(PathBuf::from(value_for("--bench-json")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => opts.positional.push(positional.to_string()),
@@ -500,9 +545,10 @@ fn cmd_repro(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!(
-            "st repro: --smoke/--x/--y/--shard/--steal/-j/--store and the service/fleet \
+            "st repro: --smoke/--x/--y/--shard/--steal/-j/--store and the service/fleet/audit \
              flags apply elsewhere\n{USAGE}"
         );
         return 2;
@@ -614,6 +660,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.max_bytes.is_some()
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!(
             "st bench: only --smoke, --instr, --bench-json, --store and --lanes apply\n{USAGE}"
@@ -835,6 +882,7 @@ fn cmd_plot(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!("st plot: only --x and --y apply\n{USAGE}");
         return 2;
@@ -863,6 +911,157 @@ fn cmd_plot(args: &[String]) -> i32 {
             eprintln!("st plot: {e}");
             1
         }
+    }
+}
+
+/// `st audit`: the deterministic findings engine. Accepts either a
+/// sweep JSONL (audits the records as-is) or a spec file ((re)runs the
+/// grid cache-first — identical to `st run` — and adds the grid
+/// cross-checks). Findings go to stdout; diagnostics and the summary go
+/// to stderr; the exit code is the CI gate (0 clean, 4 findings remain).
+fn cmd_audit(args: &[String]) -> i32 {
+    let opts = match parse_common(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("st audit: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if !opts.sets.is_empty()
+        || opts.instr.is_some()
+        || opts.lanes.is_some()
+        || opts.smoke
+        || opts.bench_json.is_some()
+        || opts.x.is_some()
+        || opts.y.is_some()
+        || opts.sharding_flags()
+        || opts.addr.is_some()
+        || opts.max_bytes.is_some()
+        || opts.store
+        || opts.service_tier_flags()
+    {
+        eprintln!(
+            "st audit: only --threads, --out, --no-cache, --min-confidence, --format and \
+             --allow apply\n{USAGE}"
+        );
+        return 2;
+    }
+    let [path] = opts.positional.as_slice() else {
+        eprintln!("st audit: expected exactly one sweep JSONL or spec file\n{USAGE}");
+        return 2;
+    };
+    let min_confidence = match opts.min_confidence.as_deref().map(audit::Confidence::parse) {
+        None => audit::Confidence::Low,
+        Some(Ok(c)) => c,
+        Some(Err(e)) => {
+            eprintln!("st audit: --min-confidence: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let jsonl_format = match opts.format.as_deref() {
+        None | Some("table") => false,
+        Some("jsonl") => true,
+        Some(other) => {
+            eprintln!("st audit: --format expects `table` or `jsonl`, got `{other}`\n{USAGE}");
+            return 2;
+        }
+    };
+    let allow = match &opts.allow {
+        None => audit::Allowlist::default(),
+        Some(allow_path) => {
+            let text = match std::fs::read_to_string(allow_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("st audit: cannot read {}: {e}", allow_path.display());
+                    return 1;
+                }
+            };
+            match audit::Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("st audit: {}: {e}", allow_path.display());
+                    return 1;
+                }
+            }
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("st audit: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+
+    let (records, findings) = if audit::looks_like_records(&text) {
+        // JSONL mode: audit the records exactly as the sweep left them.
+        let records = match audit::parse_records(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("st audit: {path}: {e}");
+                return 1;
+            }
+        };
+        let findings = audit::audit(&records);
+        (records, findings)
+    } else {
+        // Spec mode: (re)run the grid cache-first — byte-identical to
+        // `st run` — then audit the emitted records against the grid.
+        let spec = match SweepSpec::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("st audit: {e}");
+                return 1;
+            }
+        };
+        let points = match spec.points() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("st audit: {e}");
+                return 1;
+            }
+        };
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let engine = opts.engine();
+        eprintln!(
+            "st audit: sweep `{}`, {} points, {} worker threads",
+            spec.name,
+            points.len(),
+            engine.threads()
+        );
+        let reports = engine.run(&jobs);
+        let jsonl = st_sweep::emit::sweep_jsonl(&points, &reports);
+        let records = match audit::parse_records(&jsonl) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("st audit: internal: emitted sweep does not parse: {e}");
+                return 1;
+            }
+        };
+        let findings = audit::audit_with_grid(&records, &points);
+        (records, findings)
+    };
+
+    let total = findings.len();
+    let outcome = audit::apply_filters(findings, min_confidence, &allow);
+    if jsonl_format {
+        print!("{}", audit::findings_jsonl(&outcome.kept));
+    } else if !outcome.kept.is_empty() {
+        println!("{}", audit::findings_table(&outcome.kept).render());
+    }
+    eprintln!(
+        "st audit: {} records, {} finding(s): {} kept, {} suppressed by allow file, \
+         {} below --min-confidence",
+        records.len(),
+        total,
+        outcome.kept.len(),
+        outcome.suppressed,
+        outcome.below_threshold,
+    );
+    if outcome.kept.is_empty() {
+        0
+    } else {
+        4
     }
 }
 
@@ -928,10 +1127,11 @@ fn cmd_run(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!(
-            "st run: --smoke/--x/--y/-j/--store and the service/fleet flags apply to `st \
-             bench`/`st plot`/`st shard`/`st serve`/`st cache`/`st loadgen`\n{USAGE}"
+            "st run: --smoke/--x/--y/-j/--store and the service/fleet/audit flags apply to `st \
+             bench`/`st plot`/`st shard`/`st serve`/`st cache`/`st loadgen`/`st audit`\n{USAGE}"
         );
         return 2;
     }
@@ -1127,6 +1327,7 @@ fn cmd_shard(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!("st shard: only -j, --instr, --set, --out and --no-cache apply\n{USAGE}");
         return 2;
@@ -1257,6 +1458,7 @@ fn cmd_merge(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!("st merge: only --out applies to `st merge`\n{USAGE}");
         return 2;
@@ -1358,6 +1560,7 @@ fn reject_non_service_flags(
         || opts.store
         || opts.clients.is_some()
         || opts.submissions.is_some()
+        || opts.audit_flags()
         || engine_flags_misused
         || priority_misused
     {
@@ -1569,6 +1772,7 @@ fn cmd_loadgen(args: &[String]) -> i32 {
         || opts.max_bytes.is_some()
         || opts.store
         || opts.fleet_flags()
+        || opts.audit_flags()
     {
         eprintln!(
             "st loadgen: only --addr, --clients, --submissions, --priority, --smoke and \
@@ -1752,6 +1956,7 @@ fn cmd_cache(args: &[String]) -> i32 {
         || opts.addr.is_some()
         || opts.store
         || opts.service_tier_flags()
+        || opts.audit_flags()
     {
         eprintln!("st cache: only --out (and --max-bytes for `evict`) apply\n{USAGE}");
         return 2;

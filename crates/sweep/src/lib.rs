@@ -62,6 +62,13 @@
 //!   `st loadgen`: concurrent submission replay with throughput and
 //!   p50/p90/p99 latency recorded into `BENCH_service.json`;
 //! * **[`plot`]** — ASCII charts over cached sweep JSONL;
+//! * **[`audit`](mod@audit)** — the deterministic findings engine behind
+//!   `st audit`: pure rules over canonically-ordered sweep records
+//!   (IPC cliffs, energy-delay regressions, non-monotonic axis
+//!   responses, implausible metrics, stale-baseline drift), each
+//!   [`Finding`] confidence-tagged and fingerprinted so a checked-in
+//!   `audit.allow` file can suppress known findings and CI can gate on
+//!   the rest;
 //! * **[`artifact`]** — the `BENCH_sweep.json` writer (repro +
 //!   core_bench sections, updated independently);
 //! * the **`st`** binary — `st repro` regenerates the whole paper in one
@@ -73,6 +80,7 @@
 //!   `st submit`/`st status` talk to it, `st loadgen` measures it under
 //!   concurrent load, `st bench` measures the hot
 //!   loop and gates determinism, `st plot` charts cached JSONL,
+//!   `st audit` turns a sweep (JSONL or spec) into gateable findings,
 //!   `st list` shows what is available and `st cache` inspects,
 //!   migrates, compacts and size-bounds the result store.
 //!
@@ -100,6 +108,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod artifact;
+pub mod audit;
 pub mod axes;
 pub mod bench;
 pub mod cache;
@@ -118,6 +127,7 @@ pub mod service;
 pub mod shard;
 pub mod spec;
 
+pub use audit::{Allowlist, Confidence, Finding, Rule, SweepRecord};
 pub use axes::{Axis, AxisBinding, AxisDomain, AxisValue};
 pub use cache::{CacheStats, ResultCache};
 pub use client::ClientError;

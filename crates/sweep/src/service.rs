@@ -17,9 +17,13 @@
 //!   record at a time as points complete. Piping the response to a file
 //!   yields output **byte-identical** to a local `st run` of the same
 //!   spec.
+//! * **`GET /audit`** — the body is a sweep spec (same bytes as
+//!   `/submit`); the reply is one `audit` summary line plus the
+//!   deterministic findings of [`crate::audit`] over the (cache-first)
+//!   sweep — byte-identical to a local `st audit` of the same spec.
 //! * **`GET /status`** — one JSON object of live counters: cache size,
-//!   in-flight points, active/total submissions, served and simulated
-//!   point counts.
+//!   in-flight points, active/total submissions, audit requests, served
+//!   and simulated point counts.
 //! * **`POST /shutdown`** — graceful shutdown: the server stops
 //!   accepting, finishes every active connection, then exits `run`.
 //!   SIGINT (via [`install_sigint_handler`]) takes the same path.
@@ -224,6 +228,7 @@ pub struct SweepService {
     active_submissions: AtomicU64,
     points_served: AtomicU64,
     range_requests: AtomicU64,
+    audit_requests: AtomicU64,
     max_store_bytes: Option<u64>,
 }
 
@@ -248,6 +253,7 @@ impl SweepService {
             active_submissions: AtomicU64::new(0),
             points_served: AtomicU64::new(0),
             range_requests: AtomicU64::new(0),
+            audit_requests: AtomicU64::new(0),
             max_store_bytes: config.max_store_bytes,
         };
         if service.max_store_bytes.is_some() {
@@ -591,6 +597,27 @@ impl SweepService {
         })
     }
 
+    /// Audits a submitted grid: every point is served cache-first
+    /// through [`SweepService::compute`] (sharing the in-flight table
+    /// and result store with `/submit`), the canonical records are
+    /// re-derived with [`crate::emit::sweep_jsonl`], and the findings
+    /// engine judges them against the expanded grid. Backs `GET /audit`
+    /// and bumps the `audit_requests` status counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canonical emitter produces records the audit
+    /// parser rejects — a crate bug, not an input condition.
+    #[must_use]
+    pub fn audit_findings(&self, points: &[SweepPoint]) -> Vec<crate::audit::Finding> {
+        self.audit_requests.fetch_add(1, Ordering::Relaxed);
+        let reports: Vec<Arc<SimReport>> = points.iter().map(|p| self.compute(&p.job)).collect();
+        let jsonl = emit::sweep_jsonl(points, &reports);
+        let records =
+            crate::audit::parse_records(&jsonl).expect("emitted sweep records always parse");
+        crate::audit::audit_with_grid(&records, points)
+    }
+
     /// The `GET /status` payload: one line of JSON over the live
     /// counters (engine cache + service totals + result-store
     /// accounting, including eviction/compaction totals).
@@ -620,11 +647,12 @@ impl SweepService {
             None => ("null".to_string(), "null".to_string()),
         };
         format!(
-            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"range_requests\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{},\"store\":{}}}",
+            "{{\"kind\":\"status\",\"workers\":{},\"submissions\":{},\"active_submissions\":{},\"range_requests\":{},\"audit_requests\":{},\"in_flight_points\":{},\"points_served\":{},\"points_simulated\":{},\"cache_entries\":{},\"cache_loaded\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_dir\":{},\"store\":{}}}",
             self.workers,
             self.submissions.load(Ordering::Relaxed),
             self.active_submissions.load(Ordering::Relaxed),
             self.range_requests.load(Ordering::Relaxed),
+            self.audit_requests.load(Ordering::Relaxed),
             in_flight,
             self.points_served.load(Ordering::Relaxed),
             stats.simulated,
@@ -882,6 +910,8 @@ fn handle_connection(mut stream: TcpStream, service: &SweepService, shutdown: &A
         ("GET" | "POST", "/points") => {
             handle_points(&mut stream, service, &request.query, &request.body)
         }
+        // Same GET-with-body convention as /points: the body is a spec.
+        ("GET" | "POST", "/audit") => handle_audit(&mut stream, service, &request.body),
         ("GET", "/status") => respond_json(&mut stream, 200, &service.status_json()),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
@@ -894,8 +924,8 @@ fn handle_connection(mut stream: TcpStream, service: &SweepService, shutdown: &A
             &mut stream,
             404,
             &format!(
-                "no endpoint {path} (try POST /submit, GET /points?range=lo-hi, GET /status, \
-                 POST /shutdown)"
+                "no endpoint {path} (try POST /submit, GET /points?range=lo-hi, GET /audit, \
+                 GET /status, POST /shutdown)"
             ),
         ),
     };
@@ -979,6 +1009,35 @@ fn handle_points(
     let mut sink = BufWriter::new(stream);
     service.stream_points(&points, &members, &mut sink)?;
     sink.flush()
+}
+
+/// `GET /audit`: the body is a sweep spec (same bytes as `/submit`);
+/// the reply is one `audit` summary line followed by the deterministic
+/// finding records — exactly [`crate::audit::findings_jsonl`] of an
+/// `st audit` over the same spec. The sweep itself is served
+/// cache-first, so auditing a warm grid simulates nothing.
+fn handle_audit(stream: &mut TcpStream, service: &SweepService, body: &str) -> std::io::Result<()> {
+    let spec = match SweepSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let points = match spec.points() {
+        Ok(points) => points,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let findings = service.audit_findings(&points);
+    let mut payload = format!(
+        "{{\"kind\":\"audit\",\"sweep\":\"{}\",\"points\":{},\"findings\":{}}}\n",
+        emit::json_escape(&spec.name),
+        points.len(),
+        findings.len(),
+    );
+    payload.push_str(&crate::audit::findings_jsonl(&findings));
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )
 }
 
 #[cfg(test)]
@@ -1167,6 +1226,56 @@ mod tests {
             })
             .collect();
         assert_eq!(body, expected, "range stream == locally rendered point records");
+
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread").expect("clean shutdown");
+    }
+
+    #[test]
+    fn audit_endpoint_returns_deterministic_findings_and_counts_requests() {
+        let config = ServiceConfig { no_cache: true, threads: 2, ..ServiceConfig::default() };
+        let (server, addr, handle) = start(&config);
+        let raw = |body: &str| -> String {
+            let request =
+                format!("GET /audit HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            stream.write_all(request.as_bytes()).expect("write");
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).expect("read");
+            reply
+        };
+
+        let reply = raw(TINY_SPEC);
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).expect("body");
+        let (summary, findings_doc) = body.split_once('\n').expect("summary line");
+        assert!(summary.contains("\"kind\":\"audit\""), "{summary}");
+        assert!(summary.contains("\"sweep\":\"svc-test\""), "{summary}");
+        assert!(summary.contains("\"points\":4"), "{summary}");
+
+        // The findings are exactly what a local audit of the canonical
+        // records produces, and a warm re-request is byte-identical.
+        let spec = SweepSpec::parse(TINY_SPEC).expect("spec");
+        let points = spec.points().expect("points");
+        let records = crate::audit::parse_records(&canonical_jsonl(TINY_SPEC)).expect("records");
+        let expected =
+            crate::audit::findings_jsonl(&crate::audit::audit_with_grid(&records, &points));
+        assert_eq!(findings_doc, expected, "wire findings == local audit findings");
+        let again = raw(TINY_SPEC);
+        assert_eq!(again, reply, "warm audit is byte-identical");
+
+        // Audits count in /status without inflating the submission or
+        // served-point counters.
+        let status = client::status(&addr).expect("status");
+        assert!(status.contains("\"audit_requests\":2"), "{status}");
+        assert!(status.contains("\"submissions\":0"), "{status}");
+        let stats = server.service().engine().stats();
+        assert_eq!(stats.simulated, 4, "second audit was served from cache");
+
+        // A bogus spec gets the structured 400, like every endpoint.
+        let reply = raw("bogus = 1");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("\"kind\":\"error\""), "{reply}");
 
         client::shutdown(&addr).expect("shutdown");
         handle.join().expect("server thread").expect("clean shutdown");

@@ -1,0 +1,205 @@
+//! Property tests for the audit findings engine: the ISSUE contract is
+//! that findings are a pure function of the record *multiset*, so they
+//! must be byte-invariant under record permutation and under shard/merge
+//! recomposition, and every finding must name coordinates that actually
+//! exist in the input (no phantom findings).
+
+use proptest::prelude::*;
+use st_core::SimReport;
+use st_sweep::audit::{self, Finding, RecordKind, SweepRecord};
+use st_sweep::{ShardPlan, SweepEngine, SweepPoint, SweepSpec};
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------
+// Synthetic record generation.
+// ---------------------------------------------------------------------
+
+const WORKLOADS: [&str; 3] = ["go", "gcc", "twolf"];
+const EXPERIMENTS: [&str; 3] = ["BASE", "C2", "A7"];
+const AXES: [&str; 2] = ["ruu_size", "gating_threshold"];
+const METRICS: [&str; 7] =
+    ["cycles", "committed", "ipc", "energy_delay", "mispredict_rate", "speedup", "wasted_frac"];
+
+/// Metric values spanning the healthy range plus the degenerate cases
+/// (zero, NaN) that push the suspect-record rule.
+fn metric_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 0.0f64..20_000.0,
+        1 => Just(0.0),
+        1 => Just(f64::NAN),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = SweepRecord> {
+    (
+        prop_oneof![Just(RecordKind::Report), Just(RecordKind::Comparison)],
+        0..WORKLOADS.len(),
+        0..EXPERIMENTS.len(),
+        proptest::collection::vec(
+            (0..AXES.len(), prop_oneof![Just(8.0), Just(16.0), Just(64.0)]),
+            0..=2,
+        ),
+        proptest::collection::vec((0..METRICS.len(), metric_value()), 0..=5),
+    )
+        .prop_map(|(kind, w, e, raw_bindings, raw_metrics)| {
+            // Records keep bindings/metrics name-sorted and name-unique,
+            // exactly as the JSONL parser produces them.
+            let mut bindings: Vec<(String, f64)> =
+                raw_bindings.into_iter().map(|(i, v)| (AXES[i].to_string(), v)).collect();
+            bindings.sort_by(|a, b| a.0.cmp(&b.0));
+            bindings.dedup_by(|a, b| a.0 == b.0);
+            let mut metrics: Vec<(String, f64)> =
+                raw_metrics.into_iter().map(|(i, v)| (METRICS[i].to_string(), v)).collect();
+            metrics.sort_by(|a, b| a.0.cmp(&b.0));
+            metrics.dedup_by(|a, b| a.0 == b.0);
+            SweepRecord {
+                kind,
+                workload: WORKLOADS[w].to_string(),
+                experiment: EXPERIMENTS[e].to_string(),
+                bindings,
+                metrics,
+            }
+        })
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix-style LCG, so a
+/// proptest-chosen seed fully determines the permutation.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        let j = ((seed >> 33) as usize) % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Does `finding` sit at coordinates some input record actually claims?
+/// Bindings compare bit-exactly so NaN cannot smuggle a false match.
+fn names_existing_record(records: &[SweepRecord], finding: &Finding) -> bool {
+    records.iter().any(|r| {
+        r.workload == finding.workload
+            && r.experiment == finding.experiment
+            && r.bindings.len() == finding.bindings.len()
+            && r.bindings
+                .iter()
+                .zip(&finding.bindings)
+                .all(|((an, av), (bn, bv))| an == bn && av.to_bits() == bv.to_bits())
+    })
+}
+
+// ---------------------------------------------------------------------
+// One small real sweep, simulated once and shared by every case of the
+// shard/merge recomposition property.
+// ---------------------------------------------------------------------
+
+const TINY_SPEC: &str = "name = \"audit-props\"\n\
+workloads = [\"go\", \"gcc\"]\n\
+experiments = [\"BASE\", \"C2\"]\n\
+baseline = true\n\
+\n\
+[axis]\n\
+ruu_size = [16, 64]\n\
+instructions = 400\n";
+
+struct Sweep {
+    spec: SweepSpec,
+    points: Vec<SweepPoint>,
+    reports: Vec<Arc<SimReport>>,
+    fresh_jsonl: String,
+}
+
+fn sweep() -> &'static Sweep {
+    static SWEEP: OnceLock<Sweep> = OnceLock::new();
+    SWEEP.get_or_init(|| {
+        let spec = SweepSpec::parse(TINY_SPEC).expect("parse tiny spec");
+        let points = spec.points().expect("resolve points");
+        let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+        let reports = SweepEngine::new(2).run(&jobs);
+        let fresh_jsonl = st_sweep::emit::sweep_jsonl(&points, &reports);
+        Sweep { spec, points, reports, fresh_jsonl }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Audit output is a pure function of the record multiset: any
+    /// permutation of the input produces byte-identical findings JSONL.
+    #[test]
+    fn findings_are_invariant_under_record_permutation(
+        records in proptest::collection::vec(record_strategy(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let baseline = audit::findings_jsonl(&audit::audit(&records));
+        let mut shuffled = records.clone();
+        shuffle(&mut shuffled, seed);
+        let again = audit::findings_jsonl(&audit::audit(&shuffled));
+        prop_assert_eq!(baseline, again);
+    }
+
+    /// Every finding from the gridless audit names (workload,
+    /// experiment, bindings) coordinates carried by some input record.
+    #[test]
+    fn audit_never_invents_phantom_coordinates(
+        records in proptest::collection::vec(record_strategy(), 0..24),
+    ) {
+        for finding in audit::audit(&records) {
+            prop_assert!(
+                names_existing_record(&records, &finding),
+                "phantom finding at ({}, {}, {}) from rule {}",
+                finding.workload,
+                finding.experiment,
+                finding.bindings_text(),
+                finding.rule
+            );
+        }
+    }
+
+    /// Splitting the same sweep into N shard documents and merging them
+    /// back yields byte-identical findings — with and without the grid
+    /// cross-check — for every shard width.
+    #[test]
+    fn shard_merge_recomposition_preserves_findings(of in 1usize..=4) {
+        let s = sweep();
+        let plan = ShardPlan::for_points(&s.points, of).expect("plan");
+        let docs: Vec<String> = (0..of)
+            .map(|i| st_sweep::shard::shard_document(&s.spec, &s.points, &s.reports, &plan, i))
+            .collect();
+        let merged = st_sweep::shard::merge(&docs).expect("merge");
+        let fresh = audit::parse_records(&s.fresh_jsonl).expect("parse fresh sweep");
+        let recomposed = audit::parse_records(&merged.jsonl).expect("parse merged sweep");
+        prop_assert_eq!(
+            audit::findings_jsonl(&audit::audit(&fresh)),
+            audit::findings_jsonl(&audit::audit(&recomposed))
+        );
+        prop_assert_eq!(
+            audit::findings_jsonl(&audit::audit_with_grid(&fresh, &s.points)),
+            audit::findings_jsonl(&audit::audit_with_grid(&recomposed, &s.points))
+        );
+    }
+}
+
+/// The real sweep obeys the no-phantom property too, and shuffling its
+/// parsed records (a line-permuted JSONL file) leaves findings
+/// byte-identical.
+#[test]
+fn real_sweep_findings_are_order_free_and_name_real_records() {
+    let s = sweep();
+    let records = audit::parse_records(&s.fresh_jsonl).expect("parse fresh sweep");
+    let findings = audit::audit(&records);
+    for finding in &findings {
+        assert!(
+            names_existing_record(&records, finding),
+            "phantom finding at ({}, {}, {}) from rule {}",
+            finding.workload,
+            finding.experiment,
+            finding.bindings_text(),
+            finding.rule
+        );
+    }
+    let baseline = audit::findings_jsonl(&findings);
+    for seed in [1u64, 7, 42, 0xdead_beef] {
+        let mut shuffled = records.clone();
+        shuffle(&mut shuffled, seed);
+        assert_eq!(baseline, audit::findings_jsonl(&audit::audit(&shuffled)));
+    }
+}

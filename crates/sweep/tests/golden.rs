@@ -208,6 +208,73 @@ fn two_way_sharded_axes_demo_merges_to_the_same_golden_bytes() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Audit findings goldens: the audit engine's JSONL output over pinned
+// sweeps is itself pinned, so a rule or threshold change (or a simulator
+// drift that flips a finding) fails here exactly like a report drift.
+// ---------------------------------------------------------------------
+
+/// FNV-1a hash of `st audit examples/axes-demo.toml --format jsonl`
+/// output (grid-aware audit over the demo sweep).
+const GOLDEN_AXES_DEMO_AUDIT_HASH: u64 = 0x7503fb45b2715067;
+
+/// The repro-shaped grid the audit golden runs over: every paper
+/// workload through the four golden experiments at the golden budget,
+/// with BASE comparisons — the same coverage `st repro` emits.
+const GOLDEN_REPRO_AUDIT_SPEC: &str = "name = \"golden-repro-audit\"\n\
+workloads = [\"compress\", \"gcc\", \"go\", \"bzip2\", \"crafty\", \"gzip\", \"parser\", \"twolf\"]\n\
+experiments = [\"BASE\", \"C2\", \"A7\", \"OF\"]\n\
+baseline = true\n\
+\n\
+[axis]\n\
+instructions = 20000\n";
+
+/// FNV-1a hash of the audit findings JSONL over the repro-shaped grid.
+/// This is the hash of the empty document: the repro grid audits clean,
+/// and this constant pins that it stays clean.
+const GOLDEN_REPRO_AUDIT_HASH: u64 = 0xcbf29ce484222325;
+
+fn audit_jsonl_for_spec(text: &str) -> String {
+    let spec = SweepSpec::parse(text).expect("parse audit golden spec");
+    let points = spec.points().expect("resolve points");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let reports = SweepEngine::new(2).run(&jobs);
+    let jsonl = st_sweep::emit::sweep_jsonl(&points, &reports);
+    let records = st_sweep::audit::parse_records(&jsonl).expect("parse emitted sweep");
+    st_sweep::audit::findings_jsonl(&st_sweep::audit::audit_with_grid(&records, &points))
+}
+
+fn axes_demo_audit_jsonl() -> String {
+    let jsonl = axes_demo_jsonl();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/axes-demo.toml");
+    let text = std::fs::read_to_string(path).expect("read examples/axes-demo.toml");
+    let points =
+        SweepSpec::parse(&text).expect("parse axes-demo spec").points().expect("resolve points");
+    let records = st_sweep::audit::parse_records(&jsonl).expect("parse emitted sweep");
+    st_sweep::audit::findings_jsonl(&st_sweep::audit::audit_with_grid(&records, &points))
+}
+
+#[test]
+fn axes_demo_audit_findings_match_checked_in_hash() {
+    let got = fnv1a64(axes_demo_audit_jsonl().as_bytes());
+    assert_eq!(
+        got, GOLDEN_AXES_DEMO_AUDIT_HASH,
+        "audit findings over examples/axes-demo.toml drifted (got 0x{got:016x}); if the \
+         rule/threshold change is intentional, update GOLDEN_AXES_DEMO_AUDIT_HASH and \
+         regenerate audit.allow"
+    );
+}
+
+#[test]
+fn repro_grid_audit_findings_match_checked_in_hash() {
+    let got = fnv1a64(audit_jsonl_for_spec(GOLDEN_REPRO_AUDIT_SPEC).as_bytes());
+    assert_eq!(
+        got, GOLDEN_REPRO_AUDIT_HASH,
+        "audit findings over the repro-shaped grid drifted (got 0x{got:016x}); if \
+         intentional, update GOLDEN_REPRO_AUDIT_HASH"
+    );
+}
+
 /// Regeneration helper: prints the golden tables in source form.
 #[test]
 #[ignore = "generator: prints constants for the tables above"]
@@ -222,4 +289,8 @@ fn print_goldens() {
     println!("];");
     let hash = fnv1a64(axes_demo_jsonl().as_bytes());
     println!("const GOLDEN_AXES_DEMO_JSONL_HASH: u64 = 0x{hash:016x};");
+    let hash = fnv1a64(axes_demo_audit_jsonl().as_bytes());
+    println!("const GOLDEN_AXES_DEMO_AUDIT_HASH: u64 = 0x{hash:016x};");
+    let hash = fnv1a64(audit_jsonl_for_spec(GOLDEN_REPRO_AUDIT_SPEC).as_bytes());
+    println!("const GOLDEN_REPRO_AUDIT_HASH: u64 = 0x{hash:016x};");
 }

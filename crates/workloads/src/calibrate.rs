@@ -189,6 +189,50 @@ mod tests {
     }
 
     #[test]
+    fn zero_instructions_measures_a_zero_rate_without_dividing() {
+        // No instructions retired means no branches observed; the
+        // measurement must define 0/0 as 0.0, not NaN or a panic.
+        let spec = WorkloadSpec::builder("zero").seed(6).blocks(256).build();
+        let rate = measure_gshare_miss_rate(&spec, 0, 8 * 1024);
+        assert_eq!(rate, 0.0);
+        let warm = measure_gshare_miss_rate_warm(&spec, 1_000, 0, 8 * 1024);
+        assert_eq!(warm, 0.0, "warm-up-only runs count no branches");
+    }
+
+    #[test]
+    fn calibration_with_zero_instructions_still_bisects() {
+        // Every probe measures 0.0 misses, so the search walks toward
+        // the hard end but must return a finite spread inside the
+        // bisection envelope rather than panicking.
+        let base = WorkloadSpec::builder("zero-cal").seed(7).blocks(256).build();
+        let cal = calibrate_hardness(&base, 0.05, 0, 6);
+        assert_eq!(cal.achieved, 0.0);
+        assert!((0.02..=0.50).contains(&cal.spread), "spread {}", cal.spread);
+    }
+
+    #[test]
+    fn calibration_with_zero_iterations_reports_the_base_spread() {
+        // No probes run: the result is the untouched base spread with an
+        // explicitly unknown (NaN) achieved rate, not a stale number.
+        let base = WorkloadSpec::builder("zero-iter").seed(8).blocks(256).build();
+        let cal = calibrate_hardness(&base, 0.05, 10_000, 0);
+        assert_eq!(cal.spread, base.hard_bias_spread);
+        assert!(cal.achieved.is_nan(), "achieved {}", cal.achieved);
+    }
+
+    #[test]
+    fn table_below_one_set_still_yields_a_sane_rate() {
+        // table_bytes = 1 is below one full set (4 counters/byte is the
+        // smallest table the predictor accepts); the rate must stay a
+        // finite probability even in this degenerate configuration.
+        let spec = WorkloadSpec::builder("tiny-table").seed(9).blocks(512).build();
+        let rate = measure_gshare_miss_rate(&spec, 30_000, 1);
+        assert!(rate.is_finite() && (0.0..=1.0).contains(&rate), "rate {rate}");
+        let sized = measure_gshare_miss_rate(&spec, 30_000, 8 * 1024);
+        assert!(rate >= sized, "1-byte table {rate} cannot beat 8 KB {sized}");
+    }
+
+    #[test]
     fn narrower_spread_is_harder() {
         // A biased-dominated mix so the spread knob has dynamic leverage.
         let mut easy = WorkloadSpec::builder("spread")

@@ -3,8 +3,9 @@
 //! The build environment cannot reach crates.io, so this vendored crate
 //! implements the subset of the proptest API the workspace's property
 //! tests use: the [`strategy::Strategy`] trait with `prop_map`, range and tuple
-//! strategies, `prop::collection::vec`, [`prelude::any`], the
-//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! strategies, [`strategy::Just`], the weighted [`prop_oneof!`] union,
+//! `prop::collection::vec` (fixed or ranged lengths), [`prelude::any`],
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
 //! header) and the `prop_assert*` macros.
 //!
 //! Differences from upstream: sampling is plain deterministic random
@@ -107,6 +108,59 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// Weighted union of strategies sharing one value type; backs the
+    /// [`crate::prop_oneof!`] macro. Each option is `(weight, strategy)`
+    /// and is picked with probability `weight / total`.
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` options.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the weights sum to zero (nothing could ever be
+        /// picked).
+        #[must_use]
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options, total }
+        }
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .field("total", &self.total)
+                .finish()
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.rng.gen_range(0..self.total);
+            for (weight, strategy) in &self.options {
+                if pick < *weight {
+                    return strategy.new_value(rng);
+                }
+                pick -= *weight;
+            }
+            unreachable!("weights sum to the sampled total")
+        }
+    }
+
+    /// Boxes a strategy into a [`Union`] option (used by
+    /// [`crate::prop_oneof!`] so callers avoid spelling the trait-object
+    /// type).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
 }
 
 pub mod arbitrary {
@@ -169,23 +223,57 @@ pub mod collection {
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
+    use rand::Rng;
 
-    /// Strategy producing `Vec`s of a fixed length.
+    /// Lengths accepted by [`vec()`]: a fixed count or a (half-open or
+    /// inclusive) range of counts, mirroring upstream's `SizeRange`
+    /// conversions.
+    pub trait IntoSizeRange {
+        /// The inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty length range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from an inclusive
+    /// range (a fixed length is the degenerate single-value range).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
-        len: usize,
+        min_len: usize,
+        max_len: usize,
     }
 
-    /// Generates vectors of exactly `len` elements of `element`.
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    /// Generates vectors of `element` with a length drawn from `len`
+    /// (a `usize`, `a..b` or `a..=b`).
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S> {
+        let (min_len, max_len) = len.bounds();
+        VecStrategy { element, min_len, max_len }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.element.new_value(rng)).collect()
+            let len = rng.rng.gen_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
         }
     }
 }
@@ -234,9 +322,9 @@ pub mod prelude {
     //! Common imports, mirroring `proptest::prelude`.
 
     pub use crate::arbitrary::{AnyStrategy, Arbitrary};
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The canonical whole-domain strategy for `T` (e.g. `any::<bool>()`).
     pub fn any<T: Arbitrary>() -> T::Strategy {
@@ -247,6 +335,20 @@ pub mod prelude {
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Picks one of several strategies sharing a value type, optionally
+/// weighted: `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Defines property tests.
@@ -347,8 +449,18 @@ mod tests {
         }
 
         #[test]
-        fn vec_strategy_has_fixed_len(v in prop::collection::vec(0.0f64..=1.0, 5)) {
+        fn vec_strategy_has_fixed_len(v in prop::collection::vec(0.0f64..=1.0, 5usize)) {
             prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn vec_strategy_ranged_len_stays_in_bounds(v in prop::collection::vec(0u32..4, 2usize..=6)) {
+            prop_assert!((2..=6).contains(&v.len()), "len = {}", v.len());
+        }
+
+        #[test]
+        fn oneof_respects_its_option_set(x in prop_oneof![3 => Just(1u32), 1 => 10u32..20]) {
+            prop_assert!(x == 1 || (10..20).contains(&x), "x = {}", x);
         }
     }
 }
