@@ -66,6 +66,59 @@ impl Default for BranchMix {
     }
 }
 
+/// One phase of a phase-changing workload.
+///
+/// A phase overrides the control-flow knobs of its [`WorkloadSpec`] for a
+/// contiguous share of the static code (JIT-like warm-up → steady-state
+/// behaviour) or, with `phase_cycles > 1`, for interleaved bands of it
+/// (interference mixes). Phase selection is a pure function of a kernel's
+/// position in the program — it consumes no randomness — so adding or
+/// re-weighting phases never perturbs draws inside a kernel, and a spec
+/// with no phases generates exactly the same program it always did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Relative share of kernels this phase covers (normalised).
+    pub weight: f64,
+    /// Branch-behaviour mix inside the phase.
+    pub mix: BranchMix,
+    /// Multiplier on the spec's `hard_bias_spread`; the effective spread
+    /// is clamped to `[0, 0.5]`. Keeping phase spreads *relative* to the
+    /// global knob is what lets `calibrate_hardness` tune a phased
+    /// workload with a single monotone parameter.
+    pub spread_scale: f64,
+    /// Loop trip-count range inside the phase.
+    pub loop_trip: (u32, u32),
+    /// Pattern-length range inside the phase.
+    pub pattern_len: (u8, u8),
+    /// Markov stay-probability range inside the phase.
+    pub markov_stay: (f64, f64),
+    /// Memory-instruction fraction inside the phase.
+    pub mem_frac: f64,
+    /// Memory-stream random-jump probability inside the phase.
+    pub locality_jump: f64,
+    /// Conditional-branch block fraction inside the phase.
+    pub branch_frac: f64,
+}
+
+impl PhaseSpec {
+    /// A phase that mirrors the spec's own knobs (weight 1, scale 1).
+    /// Start from this and override the knobs that differ.
+    #[must_use]
+    pub fn of(spec: &WorkloadSpec) -> PhaseSpec {
+        PhaseSpec {
+            weight: 1.0,
+            mix: spec.mix,
+            spread_scale: 1.0,
+            loop_trip: spec.loop_trip,
+            pattern_len: spec.pattern_len,
+            markov_stay: spec.markov_stay,
+            mem_frac: spec.mem_frac,
+            locality_jump: spec.locality_jump,
+            branch_frac: spec.branch_frac,
+        }
+    }
+}
+
 /// Statistical description of a synthetic workload.
 ///
 /// Build one with [`WorkloadSpec::builder`]. All fields are public for
@@ -124,6 +177,14 @@ pub struct WorkloadSpec {
     /// immediately preceding load (lengthening its resolution latency, as
     /// compare-on-load branches do in real codes).
     pub branch_on_load: f64,
+    /// Phases of a phase-changing workload. Empty means the spec's own
+    /// knobs apply uniformly (the classic single-phase behaviour).
+    pub phases: Vec<PhaseSpec>,
+    /// How many times the phase sequence repeats across the static code:
+    /// `1` gives contiguous phase regions (JIT-like warm-up then
+    /// steady-state); larger values interleave the phases in bands
+    /// (interference mixes). Ignored when `phases` is empty.
+    pub phase_cycles: u32,
 }
 
 impl WorkloadSpec {
@@ -154,6 +215,8 @@ impl WorkloadSpec {
                 target_window: 96,
                 outer_trip: (8, 48),
                 branch_on_load: 0.35,
+                phases: Vec::new(),
+                phase_cycles: 1,
             },
         }
     }
@@ -264,6 +327,14 @@ impl WorkloadSpecBuilder {
         /// Sets the probability that a branch tests a just-loaded value.
         branch_on_load: f64
     );
+    setter!(
+        /// Sets the phases of a phase-changing workload.
+        phases: Vec<PhaseSpec>
+    );
+    setter!(
+        /// Sets how many times the phase sequence repeats across the code.
+        phase_cycles: u32
+    );
 
     /// Sets the number of basic blocks.
     #[must_use]
@@ -299,7 +370,82 @@ impl WorkloadSpecBuilder {
             assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0,1]");
         }
         assert!(s.branch_frac + s.jump_frac <= 1.0, "branch_frac + jump_frac must not exceed 1");
+        assert!(s.phase_cycles >= 1, "phase_cycles must be >= 1");
+        for (i, p) in s.phases.iter().enumerate() {
+            assert!(
+                p.weight.is_finite() && p.weight > 0.0,
+                "phase {i} weight = {} must be positive",
+                p.weight
+            );
+            assert!(
+                p.spread_scale.is_finite() && p.spread_scale > 0.0,
+                "phase {i} spread_scale = {} must be positive",
+                p.spread_scale
+            );
+            for (name, v) in [
+                ("mem_frac", p.mem_frac),
+                ("locality_jump", p.locality_jump),
+                ("branch_frac", p.branch_frac),
+                ("markov_stay.0", p.markov_stay.0),
+                ("markov_stay.1", p.markov_stay.1),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "phase {i} {name} = {v} outside [0,1]");
+            }
+            assert!(
+                p.branch_frac + s.jump_frac <= 1.0,
+                "phase {i} branch_frac + jump_frac must not exceed 1"
+            );
+        }
         self.spec
+    }
+}
+
+/// The control-flow knobs in effect for one kernel: the spec's own values
+/// for single-phase workloads, or a phase's overrides. Resolved once per
+/// kernel from the kernel's position in the code — never from the RNG —
+/// so phased and unphased generation draw identically per kernel.
+#[derive(Debug, Clone)]
+struct Knobs {
+    mix_w: [f64; 5],
+    p_inner: f64,
+    branch_frac: f64,
+    spread: f64,
+    loop_trip: (u32, u32),
+    pattern_len: (u8, u8),
+    markov_stay: (f64, f64),
+    mem_frac: f64,
+    locality_jump: f64,
+}
+
+impl Knobs {
+    fn base(s: &WorkloadSpec) -> Knobs {
+        let w = s.mix.normalized();
+        Knobs {
+            mix_w: w,
+            p_inner: w[0].clamp(0.0, 0.9),
+            branch_frac: s.branch_frac,
+            spread: s.hard_bias_spread,
+            loop_trip: s.loop_trip,
+            pattern_len: s.pattern_len,
+            markov_stay: s.markov_stay,
+            mem_frac: s.mem_frac,
+            locality_jump: s.locality_jump,
+        }
+    }
+
+    fn phase(s: &WorkloadSpec, p: &PhaseSpec) -> Knobs {
+        let w = p.mix.normalized();
+        Knobs {
+            mix_w: w,
+            p_inner: w[0].clamp(0.0, 0.9),
+            branch_frac: p.branch_frac,
+            spread: (s.hard_bias_spread * p.spread_scale).clamp(0.0, 0.5),
+            loop_trip: p.loop_trip,
+            pattern_len: p.pattern_len,
+            markov_stay: p.markov_stay,
+            mem_frac: p.mem_frac,
+            locality_jump: p.locality_jump,
+        }
     }
 }
 
@@ -307,13 +453,42 @@ impl WorkloadSpecBuilder {
 #[derive(Debug)]
 pub struct ProgramGenerator<'a> {
     spec: &'a WorkloadSpec,
+    base: Knobs,
+    /// `(cumulative normalised weight, knobs)` per phase, in spec order.
+    phased: Vec<(f64, Knobs)>,
 }
 
 impl<'a> ProgramGenerator<'a> {
     /// Creates a generator for the given spec.
     #[must_use]
     pub fn new(spec: &'a WorkloadSpec) -> ProgramGenerator<'a> {
-        ProgramGenerator { spec }
+        let base = Knobs::base(spec);
+        let total: f64 = spec.phases.iter().map(|p| p.weight).sum();
+        let mut cum = 0.0;
+        let phased = spec
+            .phases
+            .iter()
+            .map(|p| {
+                cum += p.weight / total.max(1e-12);
+                (cum, Knobs::phase(spec, p))
+            })
+            .collect();
+        ProgramGenerator { spec, base, phased }
+    }
+
+    /// Knobs for a kernel starting at fraction `frac_done` of the code.
+    /// Pure in its argument: phase selection never touches the RNG.
+    fn knobs_at(&self, frac_done: f64) -> &Knobs {
+        if self.phased.is_empty() {
+            return &self.base;
+        }
+        let t = (frac_done.clamp(0.0, 1.0) * f64::from(self.spec.phase_cycles.max(1))).fract();
+        for (cum, k) in &self.phased {
+            if t < *cum {
+                return k;
+            }
+        }
+        &self.phased.last().expect("phased is non-empty").1
     }
 
     /// Generates the program. Deterministic in `spec.seed`.
@@ -360,48 +535,46 @@ impl<'a> ProgramGenerator<'a> {
                 blocks.push(BasicBlock { start_pc, instrs, terminator: term });
             };
 
-        // Probability a body slot hosts a self-loop rather than a hammock
-        // or plain block, taken from the loop weight of the mix.
-        let w = s.mix.normalized();
-        let p_inner = w[0].clamp(0.0, 0.9);
-
         while blocks.len() + 14 < n {
             let kernel_start = blocks.len() as u32;
             kernel_starts.push(kernel_start);
+            // The whole kernel generates under one phase's knobs; phase
+            // choice depends only on position, never on the RNG.
+            let k = self.knobs_at(kernel_start as f64 / n as f64);
             let slots = rng.gen_range(2..=5usize);
 
             for _ in 0..slots {
                 let i = blocks.len();
                 let len = self.block_len(&mut rng);
                 let mut instrs: Vec<Instr> = (0..len - 1)
-                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams, k))
                     .collect();
                 let roll: f64 = rng.gen();
-                if roll < p_inner {
+                if roll < k.p_inner {
                     // Self-loop slot: the block iterates on itself `trip`
                     // times. Self-loops keep loop bodies free of other
                     // branches, so their history signature is clean and
                     // block execution frequencies stay stable.
                     let trip =
-                        rng.gen_range(s.loop_trip.0..=s.loop_trip.1.max(s.loop_trip.0)).max(1);
+                        rng.gen_range(k.loop_trip.0..=k.loop_trip.1.max(k.loop_trip.0)).max(1);
                     let id = BranchId(branches.len() as u32);
                     branches.push(BranchModel::new(BranchBehavior::Loop { trip }, rng.gen()));
-                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams, k));
                     let term = Terminator::Branch {
                         branch: id,
                         taken: BlockId(i as u32),
                         not_taken: BlockId((i + 1) as u32),
                     };
                     push_block(&mut blocks, &mut pc, instrs, term);
-                } else if roll < p_inner + (1.0 - p_inner) * s.branch_frac {
+                } else if roll < k.p_inner + (1.0 - k.p_inner) * k.branch_frac {
                     // Hammock slot: an if/else diamond. The taken edge
                     // skips only the plain "else" block, so a skip never
                     // shadows another branch (occurrence shares stay
                     // stable) while fetch still truly diverges on a
                     // misprediction.
                     let id = BranchId(branches.len() as u32);
-                    branches.push(BranchModel::new(self.gen_hammock(&mut rng), rng.gen()));
-                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                    branches.push(BranchModel::new(self.gen_hammock(&mut rng, k), rng.gen()));
+                    instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams, k));
                     let term = Terminator::Branch {
                         branch: id,
                         taken: BlockId((i + 2) as u32),
@@ -411,13 +584,13 @@ impl<'a> ProgramGenerator<'a> {
                     // The else block.
                     let else_len = self.block_len(&mut rng);
                     let else_instrs: Vec<Instr> = (0..else_len)
-                        .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                        .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams, k))
                         .collect();
                     let term = Terminator::Fallthrough(BlockId((i + 2) as u32));
                     push_block(&mut blocks, &mut pc, else_instrs, term);
                 } else {
                     // Plain straight-line slot.
-                    instrs.push(self.gen_body_instr(&mut rng, &mut recent, &mut streams));
+                    instrs.push(self.gen_body_instr(&mut rng, &mut recent, &mut streams, k));
                     push_block(
                         &mut blocks,
                         &mut pc,
@@ -432,13 +605,13 @@ impl<'a> ProgramGenerator<'a> {
                 let i = blocks.len();
                 let len = self.block_len(&mut rng);
                 let mut instrs: Vec<Instr> = (0..len - 1)
-                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams))
+                    .map(|_| self.gen_body_instr(&mut rng, &mut recent, &mut streams, k))
                     .collect();
                 let trip = rng
                     .gen_range(s.outer_trip.0.max(1)..=s.outer_trip.1.max(s.outer_trip.0).max(1));
                 let id = BranchId(branches.len() as u32);
                 branches.push(BranchModel::new(BranchBehavior::Loop { trip }, rng.gen()));
-                instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams));
+                instrs.extend(self.gen_branch_seq(&mut rng, &mut recent, &mut streams, k));
                 let term = Terminator::Branch {
                     branch: id,
                     taken: BlockId(kernel_start),
@@ -451,8 +624,10 @@ impl<'a> ProgramGenerator<'a> {
             // disperses the I-cache footprint).
             if rng.gen_bool(s.jump_frac.clamp(0.0, 1.0)) {
                 let i = blocks.len();
-                let instrs =
-                    vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
+                let instrs = vec![
+                    self.gen_body_instr(&mut rng, &mut recent, &mut streams, k),
+                    Instr::jump(),
+                ];
                 let term = Terminator::Jump(BlockId((i + 1) as u32));
                 push_block(&mut blocks, &mut pc, instrs, term);
             }
@@ -460,12 +635,13 @@ impl<'a> ProgramGenerator<'a> {
 
         // Pad with straight-line blocks, then close the code segment with
         // a jump back to the entry so sequential fetch never runs off the
-        // end of the image.
+        // end of the image. Cold padding always uses the spec's own knobs.
+        let k = &self.base;
         while blocks.len() < n - 1 {
             let i = blocks.len();
             let instrs = vec![
-                self.gen_body_instr(&mut rng, &mut recent, &mut streams),
-                self.gen_body_instr(&mut rng, &mut recent, &mut streams),
+                self.gen_body_instr(&mut rng, &mut recent, &mut streams, k),
+                self.gen_body_instr(&mut rng, &mut recent, &mut streams, k),
             ];
             push_block(
                 &mut blocks,
@@ -474,7 +650,8 @@ impl<'a> ProgramGenerator<'a> {
                 Terminator::Fallthrough(BlockId((i + 1) as u32)),
             );
         }
-        let instrs = vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams), Instr::jump()];
+        let instrs =
+            vec![self.gen_body_instr(&mut rng, &mut recent, &mut streams, k), Instr::jump()];
         push_block(&mut blocks, &mut pc, instrs, Terminator::Jump(BlockId(0)));
 
         Program::new(s.name.clone(), blocks, branches, streams, BlockId(0))
@@ -489,19 +666,18 @@ impl<'a> ProgramGenerator<'a> {
 
     /// Behaviour of a hammock (non-loop) branch, drawn from the non-loop
     /// portion of the mix.
-    fn gen_hammock(&self, rng: &mut StdRng) -> BranchBehavior {
-        let s = self.spec;
-        let w = s.mix.normalized();
+    fn gen_hammock(&self, rng: &mut StdRng, k: &Knobs) -> BranchBehavior {
+        let w = k.mix_w;
         let total = (w[1] + w[2] + w[3] + w[4]).max(1e-9);
         let r: f64 = rng.gen::<f64>() * total;
         if r < w[1] {
-            let len = rng.gen_range(s.pattern_len.0..=s.pattern_len.1.max(s.pattern_len.0)).max(1);
+            let len = rng.gen_range(k.pattern_len.0..=k.pattern_len.1.max(k.pattern_len.0)).max(1);
             BranchBehavior::Pattern { bits: rng.gen::<u64>(), len }
         } else if r < w[1] + w[2] {
-            let spread = s.hard_bias_spread;
+            let spread = k.spread;
             BranchBehavior::Biased { p_taken: 0.5 + rng.gen_range(-spread..=spread) }
         } else if r < w[1] + w[2] + w[3] {
-            let (lo, hi) = s.markov_stay;
+            let (lo, hi) = k.markov_stay;
             BranchBehavior::Markov {
                 p_tt: rng.gen_range(lo..=hi.max(lo)),
                 p_nn: rng.gen_range(lo..=hi.max(lo)),
@@ -519,12 +695,13 @@ impl<'a> ProgramGenerator<'a> {
         rng: &mut StdRng,
         recent: &mut [Reg],
         streams: &mut Vec<MemStreamSpec>,
+        k: &Knobs,
     ) -> Vec<Instr> {
         if rng.gen_bool(self.spec.branch_on_load.clamp(0.0, 1.0)) {
             let dest = Reg(rng.gen_range(0..Reg::COUNT as u8));
             let base = *recent.last().unwrap_or(&Reg(1));
             let sid = StreamId(streams.len() as u32);
-            streams.push(self.gen_stream(rng, sid));
+            streams.push(self.gen_stream(rng, sid, k));
             vec![Instr::load(dest, base, sid), Instr::branch(dest, None)]
         } else {
             let src = *recent.last().unwrap_or(&Reg(1));
@@ -537,6 +714,7 @@ impl<'a> ProgramGenerator<'a> {
         rng: &mut StdRng,
         recent: &mut Vec<Reg>,
         streams: &mut Vec<MemStreamSpec>,
+        k: &Knobs,
     ) -> Instr {
         let s = self.spec;
         let pick_src = |rng: &mut StdRng, recent: &[Reg]| -> Reg {
@@ -553,9 +731,9 @@ impl<'a> ProgramGenerator<'a> {
             recent.push(r);
         };
 
-        if rng.gen_bool(s.mem_frac) {
+        if rng.gen_bool(k.mem_frac) {
             let sid = StreamId(streams.len() as u32);
-            streams.push(self.gen_stream(rng, sid));
+            streams.push(self.gen_stream(rng, sid, k));
             if rng.gen_bool(s.store_frac) {
                 let base = pick_src(rng, recent);
                 let val = pick_src(rng, recent);
@@ -587,14 +765,14 @@ impl<'a> ProgramGenerator<'a> {
         }
     }
 
-    fn gen_stream(&self, rng: &mut StdRng, sid: StreamId) -> MemStreamSpec {
+    fn gen_stream(&self, rng: &mut StdRng, sid: StreamId, k: &Knobs) -> MemStreamSpec {
         let s = self.spec;
         let fp = s.stream_footprint.max(64);
         MemStreamSpec {
             base: DATA_BASE + u64::from(sid.0) * fp,
             stride: if rng.gen_bool(0.7) { 8 } else { 8 * rng.gen_range(2..=8) },
             footprint: fp,
-            p_jump: s.locality_jump,
+            p_jump: k.locality_jump,
             region_base: HEAP_BASE,
             region_size: s.region_size.max(4096),
             seed: rng.gen(),
@@ -711,6 +889,163 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn builder_rejects_bad_fraction() {
         let _ = WorkloadSpec::builder("bad").mem_frac(1.5).build();
+    }
+
+    fn programs_equal(a: &Program, b: &Program) -> bool {
+        a.blocks().len() == b.blocks().len()
+            && a.blocks()
+                .iter()
+                .zip(b.blocks())
+                .all(|(x, y)| x.instrs == y.instrs && x.terminator == y.terminator)
+    }
+
+    #[test]
+    fn uniform_phases_are_invisible() {
+        // Phases whose knobs mirror the spec's own must generate the exact
+        // program the unphased spec does: phase selection consumes no
+        // randomness, so identical knobs mean identical draws.
+        let plain = WorkloadSpec::builder("phase-id").seed(11).blocks(512).build();
+        let mut phase = PhaseSpec::of(&plain);
+        phase.weight = 3.0;
+        let phased = WorkloadSpec::builder("phase-id")
+            .seed(11)
+            .blocks(512)
+            .phases(vec![phase.clone(), phase])
+            .phase_cycles(5)
+            .build();
+        assert!(programs_equal(&plain.generate(), &phased.generate()));
+    }
+
+    #[test]
+    fn contiguous_phases_split_behavior_by_region() {
+        // Phase A: pure loop branches. Phase B: pure biased branches.
+        // With phase_cycles = 1 the first half of the code must carry the
+        // loopy behaviour and the second half the biased one.
+        let base = WorkloadSpec::builder("phase-2").seed(13).blocks(1024).build();
+        let mut easy = PhaseSpec::of(&base);
+        easy.mix =
+            BranchMix { loops: 0.2, patterns: 0.8, biased: 0.0, markov: 0.0, alternating: 0.0 };
+        let mut hard = easy.clone();
+        hard.mix =
+            BranchMix { loops: 0.2, patterns: 0.0, biased: 0.8, markov: 0.0, alternating: 0.0 };
+        let spec =
+            WorkloadSpec::builder("phase-2").seed(13).blocks(1024).phases(vec![easy, hard]).build();
+        let p = spec.generate();
+        let biased_in = |lo: usize, hi: usize| {
+            p.blocks()[lo..hi]
+                .iter()
+                .filter(|b| match b.terminator {
+                    Terminator::Branch { branch, .. } => {
+                        matches!(p.branch_model(branch).behavior(), BranchBehavior::Biased { .. })
+                    }
+                    _ => false,
+                })
+                .count()
+        };
+        let half = p.blocks().len() / 2;
+        let (first, second) = (biased_in(0, half), biased_in(half, p.blocks().len()));
+        assert_eq!(first, 0, "no biased branches may appear in the easy phase");
+        assert!(second > 20, "the hard phase must be biased-dominated: {second}");
+    }
+
+    #[test]
+    fn phase_cycles_interleave_phases() {
+        // With many cycles both halves of the code see both phases.
+        let base = WorkloadSpec::builder("phase-i").seed(17).blocks(1024).build();
+        let mut easy = PhaseSpec::of(&base);
+        easy.mix =
+            BranchMix { loops: 0.2, patterns: 0.8, biased: 0.0, markov: 0.0, alternating: 0.0 };
+        let mut hard = easy.clone();
+        hard.mix =
+            BranchMix { loops: 0.2, patterns: 0.0, biased: 0.8, markov: 0.0, alternating: 0.0 };
+        let spec = WorkloadSpec::builder("phase-i")
+            .seed(17)
+            .blocks(1024)
+            .phases(vec![easy, hard])
+            .phase_cycles(8)
+            .build();
+        let p = spec.generate();
+        let count = |lo: usize, hi: usize, want_biased: bool| {
+            p.blocks()[lo..hi]
+                .iter()
+                .filter(|b| match b.terminator {
+                    Terminator::Branch { branch, .. } => {
+                        let biased = matches!(
+                            p.branch_model(branch).behavior(),
+                            BranchBehavior::Biased { .. }
+                        );
+                        let pattern = matches!(
+                            p.branch_model(branch).behavior(),
+                            BranchBehavior::Pattern { .. }
+                        );
+                        if want_biased {
+                            biased
+                        } else {
+                            pattern
+                        }
+                    }
+                    _ => false,
+                })
+                .count()
+        };
+        let half = p.blocks().len() / 2;
+        for (lo, hi) in [(0, half), (half, p.blocks().len())] {
+            assert!(count(lo, hi, true) > 5, "biased branches in blocks {lo}..{hi}");
+            assert!(count(lo, hi, false) > 5, "pattern branches in blocks {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn phase_spread_scale_rides_the_global_spread_knob() {
+        // The phase's effective spread is hard_bias_spread × scale, so
+        // narrowing the global knob hardens every phase — the property
+        // calibration relies on.
+        let base = WorkloadSpec::builder("phase-s").seed(19).blocks(512).build();
+        let mut phase = PhaseSpec::of(&base);
+        phase.mix =
+            BranchMix { loops: 0.2, patterns: 0.0, biased: 0.8, markov: 0.0, alternating: 0.0 };
+        phase.spread_scale = 0.5;
+        let build = |spread: f64| {
+            WorkloadSpec::builder("phase-s")
+                .seed(19)
+                .blocks(512)
+                .hard_bias_spread(spread)
+                .phases(vec![phase.clone()])
+                .build()
+                .generate()
+        };
+        let spread_of = |p: &Program| {
+            let mut worst: f64 = 0.0;
+            for b in p.blocks() {
+                if let Terminator::Branch { branch, .. } = b.terminator {
+                    if let BranchBehavior::Biased { p_taken } = p.branch_model(branch).behavior() {
+                        worst = worst.max((p_taken - 0.5).abs());
+                    }
+                }
+            }
+            worst
+        };
+        let wide = spread_of(&build(0.4));
+        let narrow = spread_of(&build(0.1));
+        assert!(wide > 0.1 && wide <= 0.2 + 1e-9, "0.4 × 0.5 caps biases at 0.2: {wide}");
+        assert!(narrow <= 0.05 + 1e-9, "0.1 × 0.5 caps biases at 0.05: {narrow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn builder_rejects_nonpositive_phase_weight() {
+        let base = WorkloadSpec::builder("bad-phase").build();
+        let mut phase = PhaseSpec::of(&base);
+        phase.weight = 0.0;
+        let _ = WorkloadSpec::builder("bad-phase").phases(vec![phase]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "phase_cycles")]
+    fn builder_rejects_zero_phase_cycles() {
+        let base = WorkloadSpec::builder("bad-cycles").build();
+        let phase = PhaseSpec::of(&base);
+        let _ = WorkloadSpec::builder("bad-cycles").phases(vec![phase]).phase_cycles(0).build();
     }
 
     #[test]

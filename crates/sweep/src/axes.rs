@@ -183,10 +183,79 @@ impl Axis {
         Ok(value)
     }
 
+    /// Parses one spec/CLI value token into axis values: a plain number,
+    /// or — for integer axes — a range `lo..hi` (half-open) or `lo..=hi`
+    /// (inclusive) expanding to consecutive integers. Ranges are how one
+    /// spec line binds thousands of values (`workload_seed = "0..1000"`);
+    /// underscore digit grouping is accepted everywhere.
+    pub fn values_from_token(&self, token: &str) -> Result<Vec<AxisValue>, SpecError> {
+        let token = token.trim();
+        if let Some((lo_text, inclusive, hi_text)) = split_range_token(token) {
+            let AxisDomain::Int { .. } = self.domain else {
+                return Err(SpecError(format!(
+                    "axis `{}` is real-valued; ranges like `{token}` only expand on integer axes",
+                    self.name
+                )));
+            };
+            let parse = |part: &str| -> Result<u64, SpecError> {
+                part.trim().replace('_', "").parse::<u64>().map_err(|_| {
+                    SpecError(format!(
+                        "axis `{}`: cannot parse `{part}` in range `{token}` as an integer",
+                        self.name
+                    ))
+                })
+            };
+            let lo = parse(lo_text)?;
+            let hi_raw = parse(hi_text)?;
+            let hi =
+                if inclusive { hi_raw.checked_add(1) } else { Some(hi_raw) }.ok_or_else(|| {
+                    SpecError(format!("axis `{}`: range `{token}` overflows", self.name))
+                })?;
+            if lo >= hi {
+                return Err(SpecError(format!(
+                    "axis `{}`: empty range `{token}` (lo must be below hi)",
+                    self.name
+                )));
+            }
+            if (hi - lo) as usize > MAX_RANGE_VALUES {
+                return Err(SpecError(format!(
+                    "axis `{}`: range `{token}` expands to {} values (limit {MAX_RANGE_VALUES})",
+                    self.name,
+                    hi - lo
+                )));
+            }
+            return (lo..hi)
+                .map(|n| {
+                    let v = AxisValue::Int(n);
+                    self.validate(&v).map(|()| v)
+                })
+                .collect();
+        }
+        let n: f64 = token.replace('_', "").parse().map_err(|_| {
+            SpecError(format!("axis `{}`: cannot parse value `{token}`", self.name))
+        })?;
+        Ok(vec![self.value_from_f64(n)?])
+    }
+
     /// Position in the registry: the canonical application order.
     #[must_use]
     pub fn index(&self) -> usize {
         REGISTRY.iter().position(|a| a.name == self.name).expect("axis comes from the registry")
+    }
+}
+
+/// Upper bound on how many values one range token may expand to — a
+/// guard against accidental `0..4_000_000_000` grids, far above any
+/// intentional sweep (the CI generative gate uses 1000).
+pub const MAX_RANGE_VALUES: usize = 65_536;
+
+/// Splits `lo..hi` / `lo..=hi` into `(lo, inclusive, hi)`; `None` when
+/// the token is not a range.
+fn split_range_token(token: &str) -> Option<(&str, bool, &str)> {
+    let (lo, rest) = token.split_once("..")?;
+    match rest.strip_prefix('=') {
+        Some(hi) => Some((lo, true, hi)),
+        None => Some((lo, false, rest)),
     }
 }
 
@@ -202,7 +271,7 @@ fn int(v: &AxisValue) -> u64 {
 /// `depth` must stay first: it rebuilds the whole pipeline configuration
 /// (see [`PipelineConfig::with_depth`]) and later axes override single
 /// fields on top of that rebuild.
-static REGISTRY: [Axis; 11] = [
+static REGISTRY: [Axis; 12] = [
     Axis {
         name: "depth",
         domain: AxisDomain::Int { min: 6, max: 64 },
@@ -313,6 +382,22 @@ static REGISTRY: [Axis; 11] = [
         paper: "Table 1",
         apply: |job, v| {
             job.power = job.power.clone().with_total_watts(v.as_f64());
+        },
+    },
+    Axis {
+        name: "workload_seed",
+        domain: AxisDomain::Int { min: 0, max: 4_294_967_295 },
+        default: AxisValue::Int(0),
+        summary: "re-derives generative workloads (gen:<family>:<seed>) at this seed; fixed profiles ignore it",
+        paper: "methodology extension: generative workload suite",
+        apply: |job, v| {
+            // Only generative workloads respond; `reseed` is `None` for
+            // the paper's fixed profiles, which keeps the axis a no-op
+            // there (the same pattern `gating_threshold` uses on
+            // non-gating machines).
+            if let Some(spec) = st_workloads::generate::reseed(&job.workload.name, int(v)) {
+                job.workload = spec;
+            }
         },
     },
 ];
@@ -568,6 +653,51 @@ mod tests {
         assert_eq!(nearest("zzzzzz", registry().iter().map(|a| a.name)), None);
         assert_eq!(levenshtein("kitten", "sitting"), 3);
         assert_eq!(levenshtein("", "abc"), 3);
+    }
+
+    #[test]
+    fn workload_seed_reseeds_generative_workloads_only() {
+        // On a fixed profile the axis is a no-op (default and non-default
+        // values alike) — the same silent-pass pattern gating_threshold
+        // uses on non-gating machines.
+        let mut fixed = JobSpec::new(st_workloads::by_name("go").expect("profile"), 1_000);
+        let before = fixed.fingerprint();
+        apply(&mut fixed, "workload_seed", &AxisValue::Int(7)).unwrap();
+        assert_eq!(fixed.fingerprint(), before, "fixed profiles ignore the seed");
+        assert_eq!(fixed.workload.name, "go");
+
+        // On a generative member it swaps in the member for the new seed.
+        let mut job =
+            JobSpec::new(st_workloads::by_name("gen:spec2006:0").expect("generative"), 1_000);
+        apply(&mut job, "workload_seed", &AxisValue::Int(3)).unwrap();
+        assert_eq!(job.workload.name, "gen:spec2006:3");
+        let direct = st_workloads::by_name("gen:spec2006:3").expect("resolves");
+        assert_eq!(job.workload, direct, "axis and by_name agree");
+    }
+
+    #[test]
+    fn range_tokens_expand_on_integer_axes() {
+        let depth = axis("depth").unwrap();
+        assert_eq!(
+            depth.values_from_token("6..9").unwrap(),
+            vec![AxisValue::Int(6), AxisValue::Int(7), AxisValue::Int(8)]
+        );
+        assert_eq!(
+            depth.values_from_token("6..=8").unwrap(),
+            vec![AxisValue::Int(6), AxisValue::Int(7), AxisValue::Int(8)]
+        );
+        let seed = axis("workload_seed").unwrap();
+        assert_eq!(seed.values_from_token("0..1_000").unwrap().len(), 1_000);
+        assert_eq!(seed.values_from_token("42").unwrap(), vec![AxisValue::Int(42)]);
+
+        // Errors: empty and overgrown ranges, domain violations inside
+        // the expansion, ranges on real-valued axes.
+        assert!(depth.values_from_token("9..9").is_err(), "empty");
+        assert!(depth.values_from_token("9..6").is_err(), "backwards");
+        assert!(seed.values_from_token("0..100_000_000").is_err(), "over the expansion cap");
+        assert!(depth.values_from_token("1..8").is_err(), "1 is below depth's domain");
+        assert!(axis("idle_frac").unwrap().values_from_token("0..1").is_err(), "float axis");
+        assert!(seed.values_from_token("a..b").is_err(), "non-numeric endpoints");
     }
 
     #[test]

@@ -92,6 +92,13 @@
 //!     --allow. Exits 0 when nothing (unsuppressed) is found, 4 when
 //!     findings remain — the CI gate.
 //!
+//! st calibrate [--seeds N] [--family NAME] [--csv PATH]
+//!     Probes every generative workload family (gen:<family>:<seed>)
+//!     across a seed range and reports each derived member's realized
+//!     gshare miss rate against the family target. Exits 4 when any
+//!     member lands outside its family tolerance — the generative
+//!     suite's CI gate; --csv writes the table for the CI artifact.
+//!
 //! st list [workloads|experiments|figures|axes]
 //!     Shows what the other subcommands can reference.
 //!
@@ -149,6 +156,7 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -187,6 +195,7 @@ USAGE:
     st audit <jsonl|spec.toml|spec.json> [--threads N] [--out DIR] [--no-cache]
              [--min-confidence low|medium|high] [--format table|jsonl]
              [--allow FILE]
+    st calibrate [--seeds N] [--family NAME] [--csv PATH]
     st list [workloads|experiments|figures|axes]
     st cache [show|stats|migrate|compact|clear|clear-claims] [--out DIR]
     st cache evict --max-bytes N [--out DIR]
@@ -252,9 +261,16 @@ OPTIONS:
                      on stdout (the byte-deterministic document)
     --allow FILE     `audit`: suppress findings whose 16-hex-digit
                      fingerprint is listed (one per line, # comments)
+    --seeds N        `calibrate`: seeds probed per generative family
+                     (default 8)
+    --family NAME    `calibrate`: probe only the named family
+    --csv PATH       `calibrate`: also write the table as CSV (the CI
+                     calibration artifact)
 
 `st audit` exits 0 when no unsuppressed finding remains, 4 when findings
-remain (the CI gate), 1 on errors and 2 on usage mistakes.
+remain (the CI gate), 1 on errors and 2 on usage mistakes. `st calibrate`
+exits 0 when every probed member lands within its family's declared
+miss-rate tolerance and 4 otherwise.
 ";
 
 /// Options shared by `repro`, `run` and `cache`.
@@ -507,18 +523,13 @@ fn parse_set(arg: &str) -> Result<(String, Vec<AxisValue>), String> {
     };
     let name = name.trim();
     let axis = axes::axis(name).ok_or_else(|| axes::unknown_axis_error(name).to_string())?;
-    let values: Vec<AxisValue> = values
-        .split(',')
-        .map(|token| {
-            let n: f64 = token
-                .trim()
-                .replace('_', "")
-                .parse()
-                .map_err(|_| format!("--set {name}: cannot parse number `{token}`"))?;
-            axis.value_from_f64(n).map_err(|e| e.to_string())
-        })
-        .collect::<Result<_, String>>()?;
-    Ok((name.to_string(), values))
+    let mut out: Vec<AxisValue> = Vec::new();
+    for token in values.split(',') {
+        // Each comma-separated token is a number or, on integer axes, a
+        // `lo..hi` / `lo..=hi` range (`--set workload_seed=0..1000`).
+        out.extend(axis.values_from_token(token).map_err(|e| format!("--set {e}"))?);
+    }
+    Ok((name.to_string(), out))
 }
 
 fn cmd_repro(args: &[String]) -> i32 {
@@ -2131,6 +2142,120 @@ fn cmd_cache(args: &[String]) -> i32 {
     }
 }
 
+/// `st calibrate`: probe the generative workload families across a seed
+/// range and report how far each derived member's realized gshare
+/// miss rate lands from its family target. Exits 4 when any probed
+/// member falls outside its family tolerance — the CI gate for the
+/// generative suite — and writes the table as CSV for the workflow
+/// artifact when `--csv` is given.
+fn cmd_calibrate(args: &[String]) -> i32 {
+    let mut seeds: u64 = 8;
+    let mut family_filter: Option<String> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--seeds" => {
+                    seeds = value_for("--seeds")?
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| "--seeds expects an integer".to_string())?;
+                    if seeds == 0 {
+                        return Err("--seeds must be at least 1".to_string());
+                    }
+                }
+                "--family" => family_filter = Some(value_for("--family")?),
+                "--csv" => csv = Some(PathBuf::from(value_for("--csv")?)),
+                other => return Err(format!("unexpected argument `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("st calibrate: {e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let families: Vec<&st_workloads::Family> = st_workloads::families()
+        .iter()
+        .filter(|f| family_filter.as_deref().is_none_or(|want| want == f.name))
+        .collect();
+    if families.is_empty() {
+        let known: Vec<&str> = st_workloads::families().iter().map(|f| f.name).collect();
+        eprintln!(
+            "st calibrate: unknown family `{}` (known: {})",
+            family_filter.unwrap_or_default(),
+            known.join(", ")
+        );
+        return 2;
+    }
+
+    println!(
+        "st calibrate: {} famil{} x {seeds} seeds (gshare miss-rate targets)",
+        families.len(),
+        if families.len() == 1 { "y" } else { "ies" }
+    );
+    println!(
+        "  {:<22} {:>7} {:>9} {:>10} {:>10} {:>7}  status",
+        "workload", "target", "achieved", "deviation", "tolerance", "spread"
+    );
+    let mut csv_text =
+        String::from("family,seed,target,achieved,deviation,tolerance,spread,within\n");
+    let mut out_of_tolerance = 0u64;
+    for &family in &families {
+        let mut worst = 0.0f64;
+        for seed in 0..seeds {
+            let (_, cal) = st_workloads::generate::resolve_member(family, seed);
+            let deviation = (cal.achieved - family.target_miss).abs();
+            let within = deviation <= family.tolerance;
+            if !within {
+                out_of_tolerance += 1;
+            }
+            worst = worst.max(deviation);
+            println!(
+                "  {:<22} {:>7.4} {:>9.4} {:>10.4} {:>10.4} {:>7.4}  {}",
+                st_workloads::generate::member_name(family, seed),
+                family.target_miss,
+                cal.achieved,
+                deviation,
+                family.tolerance,
+                cal.spread,
+                if within { "ok" } else { "OUT" }
+            );
+            csv_text.push_str(&format!(
+                "{},{seed},{:.6},{:.6},{:.6},{:.6},{:.6},{within}\n",
+                family.name,
+                family.target_miss,
+                cal.achieved,
+                deviation,
+                family.tolerance,
+                cal.spread
+            ));
+        }
+        println!(
+            "  {:<22} worst deviation {:.4} of tolerance {:.4}",
+            format!("gen:{}:*", family.name),
+            worst,
+            family.tolerance
+        );
+    }
+    if let Some(path) = csv {
+        if let Err(e) = std::fs::write(&path, csv_text) {
+            eprintln!("st calibrate: writing {}: {e}", path.display());
+            return 1;
+        }
+        println!("st calibrate: wrote {}", path.display());
+    }
+    if out_of_tolerance > 0 {
+        eprintln!("st calibrate: {out_of_tolerance} member(s) outside family tolerance");
+        return 4;
+    }
+    println!("st calibrate: all probed members within tolerance");
+    0
+}
+
 fn cmd_list(args: &[String]) -> i32 {
     let what = args.first().map(String::as_str).unwrap_or("all");
     let mut shown = false;
@@ -2142,6 +2267,19 @@ fn cmd_list(args: &[String]) -> i32 {
                 info.spec.name,
                 info.suite,
                 100.0 * info.paper_miss_rate
+            );
+        }
+        println!();
+        println!(
+            "generative families (members `gen:<family>:<seed>`; reseed via axis.workload_seed):"
+        );
+        for f in st_workloads::families() {
+            println!(
+                "  gen:{:<10} target miss {:>4.1}% +/-{:>3.1}pp  {}",
+                format!("{}:*", f.name),
+                100.0 * f.target_miss,
+                100.0 * f.tolerance,
+                f.summary
             );
         }
         println!();

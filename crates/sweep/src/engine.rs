@@ -464,6 +464,29 @@ mod tests {
     }
 
     #[test]
+    fn generated_workloads_group_by_seed_and_stay_lane_identical() {
+        // Two seeds of one family are *different* workloads: they must
+        // never share a lane chunk, while same-member points across
+        // experiments still pack together.
+        let wl0 = st_workloads::by_name("gen:jit:0").expect("generative member");
+        let wl1 = st_workloads::by_name("gen:jit:1").expect("generative member");
+        let jobs = vec![
+            JobSpec::new(wl0.clone(), 2_000),
+            JobSpec::new(wl1.clone(), 2_000),
+            JobSpec::new(wl0, 2_000).with_experiment(st_core::experiments::a7()),
+            JobSpec::new(wl1, 2_000).with_experiment(st_core::experiments::c2()),
+        ];
+        let engine = SweepEngine::new(1).with_lanes(4);
+        let fresh: Vec<(u64, &JobSpec)> = jobs.iter().map(|j| (j.fingerprint(), j)).collect();
+        let chunks = engine.lane_chunks(&fresh);
+        assert_eq!(chunks, vec![vec![0, 2], vec![1, 3]], "seeds must not co-pack");
+
+        let solo = SweepEngine::new(1).run(&jobs);
+        let packed = SweepEngine::new(2).with_lanes(4).run(&jobs);
+        assert_eq!(solo, packed, "lane packing over generated workloads must be bit-identical");
+    }
+
+    #[test]
     fn cross_batch_caching() {
         let engine = SweepEngine::new(1);
         let _ = engine.run(&[job(5)]);

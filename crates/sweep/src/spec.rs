@@ -243,6 +243,16 @@ impl SweepSpec {
     /// slowest) × workloads × (baseline + experiments), with each
     /// point's axis bindings attached for downstream grouping.
     pub fn points(&self) -> Result<Vec<SweepPoint>, SpecError> {
+        // `workload_seed` re-derives generative workloads and is a no-op
+        // on fixed profiles; binding it without a single `gen:` workload
+        // would silently sweep N identical points, so reject it up front.
+        if self.axis_values("workload_seed").is_some()
+            && !self.workloads.iter().any(|w| w.starts_with(st_workloads::GEN_PREFIX))
+        {
+            return err("axis `workload_seed` needs at least one generative workload \
+                 (`gen:<family>:<seed>`); fixed profiles ignore the seed"
+                .to_string());
+        }
         let workloads = self.resolve_workloads()?;
         let experiments = self.resolve_experiments()?;
         let mut bound = self.axes.clone();
@@ -295,8 +305,7 @@ impl SweepSpec {
         self.workloads
             .iter()
             .map(|name| {
-                st_workloads::by_name(name)
-                    .ok_or_else(|| SpecError(format!("unknown workload `{name}`")))
+                st_workloads::by_name(name).ok_or_else(|| SpecError(unknown_workload_message(name)))
             })
             .collect()
     }
@@ -344,6 +353,28 @@ fn make_point(
         axes::axis(name).expect("combo names come from bindings").apply(&mut job, value)?;
     }
     Ok(SweepPoint { job, bindings: combo.to_vec() })
+}
+
+/// The "unknown workload" diagnostic: nearest-name suggestion over the
+/// fixed profiles and generative family spellings, plus the name
+/// grammar for generated members.
+fn unknown_workload_message(name: &str) -> String {
+    let mut msg = format!("unknown workload `{name}`");
+    let mut candidates: Vec<String> =
+        st_workloads::all().into_iter().map(|i| i.spec.name).collect();
+    for f in st_workloads::families() {
+        candidates.push(format!("gen:{}", f.name));
+    }
+    if let Some(best) = axes::nearest(name, candidates.iter().map(String::as_str)) {
+        msg.push_str(&format!(" (did you mean `{best}`?)"));
+    }
+    let families: Vec<&str> = st_workloads::families().iter().map(|f| f.name).collect();
+    msg.push_str(&format!(
+        "; valid workloads: the eight fixed profiles (`st list workloads`) \
+         or `gen:<family>:<seed>` with families {}",
+        families.join(", ")
+    ));
+    msg
 }
 
 /// The "unknown spec key" diagnostic: nearest-name suggestion over
@@ -424,20 +455,24 @@ impl Value {
 
     /// Converts to typed axis values per the axis domain: integer axes
     /// require whole non-negative numbers, float axes accept any finite
-    /// number.
+    /// number. String values are range tokens — `"lo..hi"` / `"lo..=hi"`
+    /// on integer axes expand to consecutive values, so one spec line
+    /// can bind a thousand workload seeds.
     fn into_axis_vec(self, axis: &Axis, key: &str) -> Result<Vec<AxisValue>, SpecError> {
         let items = match self {
             Value::Arr(items) => items,
-            single @ Value::Num(_) => vec![single],
+            single @ (Value::Num(_) | Value::Str(_)) => vec![single],
             other => return err(format!("`{key}` expects an array of numbers, got {other:?}")),
         };
-        items
-            .into_iter()
-            .map(|v| match v {
-                Value::Num(n) => axis.value_from_f64(n),
-                other => err(format!("`{key}` expects numbers, got {other:?}")),
-            })
-            .collect()
+        let mut out = Vec::new();
+        for v in items {
+            match v {
+                Value::Num(n) => out.push(axis.value_from_f64(n)?),
+                Value::Str(s) => out.extend(axis.values_from_token(&s)?),
+                other => return err(format!("`{key}` expects numbers or ranges, got {other:?}")),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -874,6 +909,65 @@ mod tests {
         }
         let a7 = points.iter().find(|p| p.job.experiment.id == "A7").expect("A7 point");
         assert_eq!(a7.job.experiment.gating_threshold(), Some(1));
+    }
+
+    #[test]
+    fn workload_seed_ranges_expand_generative_grids() {
+        let spec = SweepSpec::parse(
+            r#"
+            name = "gen"
+            workloads = ["gen:server:0"]
+            experiments = ["C2"]
+            baseline = false
+
+            [axis]
+            workload_seed = "0..=3"
+            instructions = 1_000
+            "#,
+        )
+        .expect("parse");
+        assert_eq!(
+            spec.axis_values("workload_seed"),
+            Some(&[AxisValue::Int(0), AxisValue::Int(1), AxisValue::Int(2), AxisValue::Int(3)][..])
+        );
+        let points = spec.points().expect("points");
+        assert_eq!(points.len(), 4, "4 seeds x 1 workload x C2");
+        let names: Vec<&str> = points.iter().map(|p| p.job.workload.name.as_str()).collect();
+        assert_eq!(names, vec!["gen:server:0", "gen:server:1", "gen:server:2", "gen:server:3"]);
+        // Same grid again — resolution is deterministic, so the jobs match.
+        assert_eq!(spec.points().expect("again"), points);
+    }
+
+    #[test]
+    fn workload_seed_without_a_generative_workload_is_rejected() {
+        let fixed =
+            SweepSpec::parse("workloads = [\"go\"]\naxis.workload_seed = [0, 1]\n").expect("parse");
+        let e = fixed.points().unwrap_err();
+        assert!(e.0.contains("generative workload"), "{e}");
+        // The default workload set (the paper's eight) is fixed too.
+        let defaulted = SweepSpec::parse("axis.workload_seed = [0, 1]\n").expect("parse");
+        assert!(defaulted.points().is_err());
+        // Mixed specs are fine: the axis reseeds the generative member
+        // and leaves the fixed profile alone.
+        let mixed = SweepSpec::parse(
+            "workloads = [\"go\", \"gen:jit:0\"]\naxis.workload_seed = [5]\n\
+             experiments = [\"C2\"]\nbaseline = false\naxis.instructions = 1000\n",
+        )
+        .expect("parse");
+        let points = mixed.points().expect("points");
+        let names: Vec<&str> = points.iter().map(|p| p.job.workload.name.as_str()).collect();
+        assert_eq!(names, vec!["go", "gen:jit:5"]);
+    }
+
+    #[test]
+    fn unknown_workloads_suggest_families() {
+        let typo = SweepSpec { workloads: vec!["gen:serverr".into()], ..SweepSpec::new("w") };
+        let e = typo.jobs().unwrap_err();
+        assert!(e.0.contains("did you mean `gen:server`?"), "{e}");
+        let plain = SweepSpec { workloads: vec!["gen:nosuch:1".into()], ..SweepSpec::new("w") };
+        let e = plain.jobs().unwrap_err();
+        assert!(e.0.contains("gen:<family>:<seed>"), "{e}");
+        assert!(e.0.contains("spec2006"), "{e}");
     }
 
     #[test]

@@ -209,6 +209,75 @@ fn two_way_sharded_axes_demo_merges_to_the_same_golden_bytes() {
 }
 
 // ---------------------------------------------------------------------
+// Generative-sweep golden: a seeded `axis.workload_seed` grid over two
+// generative families is pinned end-to-end — derivation (knob draw +
+// hardness calibration), grid expansion, simulation and JSONL encoding
+// all sit under this one hash. The full-size gate (1000+ seeds) runs in
+// CI over examples/gen-demo.toml; this is the fast in-tree anchor.
+// ---------------------------------------------------------------------
+
+/// A miniature generative sweep: two families × three seeds × two
+/// experiments (12 points, 6 derived workloads).
+const GOLDEN_GEN_SPEC: &str = "name = \"golden-gen\"\n\
+workloads = [\"gen:jit:0\", \"gen:mix:0\"]\n\
+experiments = [\"BASE\", \"C2\"]\n\
+\n\
+[axis]\n\
+instructions = 20000\n\
+workload_seed = [0, 1, 2]\n";
+
+/// FNV-1a hash of the generative sweep's JSONL document, captured when
+/// the generative suite landed. Drifts if family knob ranges, the
+/// calibration loop, grid expansion order or report encoding change.
+const GOLDEN_GEN_JSONL_HASH: u64 = 0x7fb45a60cdc35bcd;
+
+fn gen_sweep_jsonl_at_lanes(lanes: usize) -> String {
+    let spec = SweepSpec::parse(GOLDEN_GEN_SPEC).expect("parse golden gen spec");
+    let points = spec.points().expect("resolve gen points");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let reports = SweepEngine::new(1).with_lanes(lanes).run(&jobs);
+    st_sweep::emit::sweep_jsonl(&points, &reports)
+}
+
+#[test]
+fn gen_sweep_jsonl_matches_checked_in_hash() {
+    let got = fnv1a64(gen_sweep_jsonl_at_lanes(1).as_bytes());
+    assert_eq!(
+        got, GOLDEN_GEN_JSONL_HASH,
+        "generative sweep JSONL drifted (got 0x{got:016x}); if the derivation or \
+         calibration change is intentional, update GOLDEN_GEN_JSONL_HASH"
+    );
+}
+
+#[test]
+fn gen_sweep_jsonl_matches_golden_at_lane_width_4() {
+    let got = fnv1a64(gen_sweep_jsonl_at_lanes(4).as_bytes());
+    assert_eq!(
+        got, GOLDEN_GEN_JSONL_HASH,
+        "lane-4 generative sweep JSONL diverged from the solo golden (got 0x{got:016x})"
+    );
+}
+
+#[test]
+fn two_way_sharded_gen_sweep_merges_to_the_same_golden_bytes() {
+    let spec = SweepSpec::parse(GOLDEN_GEN_SPEC).expect("parse golden gen spec");
+    let points = spec.points().expect("resolve gen points");
+    let jobs: Vec<_> = points.iter().map(|p| p.job.clone()).collect();
+    let reports = SweepEngine::new(1).run(&jobs);
+    let plan = st_sweep::ShardPlan::for_points(&points, 2).expect("plan");
+    let docs: Vec<String> = (0..2)
+        .map(|s| st_sweep::shard::shard_document(&spec, &points, &reports, &plan, s))
+        .collect();
+    let merged = st_sweep::shard::merge(&docs).expect("merge");
+    let got = fnv1a64(merged.jsonl.as_bytes());
+    assert_eq!(
+        got, GOLDEN_GEN_JSONL_HASH,
+        "sharded+merged generative sweep JSONL diverged from the single-process golden \
+         (got 0x{got:016x})"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Audit findings goldens: the audit engine's JSONL output over pinned
 // sweeps is itself pinned, so a rule or threshold change (or a simulator
 // drift that flips a finding) fails here exactly like a report drift.
@@ -289,6 +358,8 @@ fn print_goldens() {
     println!("];");
     let hash = fnv1a64(axes_demo_jsonl().as_bytes());
     println!("const GOLDEN_AXES_DEMO_JSONL_HASH: u64 = 0x{hash:016x};");
+    let hash = fnv1a64(gen_sweep_jsonl_at_lanes(1).as_bytes());
+    println!("const GOLDEN_GEN_JSONL_HASH: u64 = 0x{hash:016x};");
     let hash = fnv1a64(axes_demo_audit_jsonl().as_bytes());
     println!("const GOLDEN_AXES_DEMO_AUDIT_HASH: u64 = 0x{hash:016x};");
     let hash = fnv1a64(audit_jsonl_for_spec(GOLDEN_REPRO_AUDIT_SPEC).as_bytes());

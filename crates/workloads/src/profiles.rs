@@ -303,7 +303,9 @@ pub fn all() -> Vec<WorkloadInfo> {
     ]
 }
 
-/// Looks a workload spec up by its benchmark name.
+/// Looks a workload spec up by name: one of the eight benchmark names,
+/// or a generative `gen:<family>:<seed>` member (resolved — and
+/// calibrated — by [`crate::generate`]).
 #[must_use]
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
     match name {
@@ -315,7 +317,7 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
         "gzip" => Some(gzip()),
         "parser" => Some(parser()),
         "twolf" => Some(twolf()),
-        _ => None,
+        name => crate::generate::resolve(name),
     }
 }
 
